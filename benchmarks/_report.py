@@ -1,0 +1,43 @@
+"""Benchmark report registry.
+
+Each bench registers the table/series it reproduces; the conftest's
+``pytest_terminal_summary`` hook prints everything at the end of the run
+(so the paper-shaped rows always land in ``bench_output.txt``), and a
+copy is written under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+_TABLES: List[tuple] = []
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def register_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Queue a table for the end-of-run summary and persist it."""
+    _TABLES.append((title, list(header), [list(r) for r in rows]))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    slug = "".join(c if c.isalnum() else "_" for c in title.lower())[:60]
+    with open(os.path.join(RESULTS_DIR, slug + ".txt"), "w") as f:
+        f.write(format_table(title, header, rows))
+
+
+def format_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    cells = [list(map(str, header))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    lines = ["", "=== %s ===" % title]
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def drain_tables() -> List[tuple]:
+    tables = list(_TABLES)
+    _TABLES.clear()
+    return tables

@@ -1,0 +1,107 @@
+"""Event detection — MR-DBSCAN over GPS traces (paper Section 2.2).
+
+The paper reports no event-detection figure, but the module is a core
+contribution; this bench records detection quality (all seeded hotspots
+found, known-POI traces filtered, background stays noise) and the
+speedup of the distributed clustering over the sequential baseline's
+work distribution.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.clustering import dbscan, mr_dbscan
+from repro.config import ClusterConfig, JobsConfig, PlatformConfig
+from repro.core import MoDisSENSE
+from repro.datagen import generate_pois, generate_traces
+from repro.geo import GeoPoint
+
+from ._report import register_table
+
+
+def test_event_detection_quality(benchmark):
+    platform = MoDisSENSE(PlatformConfig.small())
+    pois = generate_pois(count=500, seed=3)
+    platform.load_pois(pois)
+    scenario = generate_traces(
+        user_ids=list(range(1, 20)),
+        known_pois=pois,
+        num_hotspots=6,
+        points_per_hotspot=150,
+        near_poi_points=400,
+        background_points=600,
+        seed=31,
+    )
+    platform.push_gps(scenario.points)
+
+    report = benchmark.pedantic(
+        platform.detect_events, kwargs={"since": 0}, rounds=1, iterations=1
+    )
+
+    matched = 0
+    for hotspot in scenario.hotspot_centers:
+        if any(
+            poi.location.distance_m(hotspot) < 100.0
+            for poi in report.pois_created
+        ):
+            matched += 1
+
+    register_table(
+        "Event detection: MR-DBSCAN over GPS traces",
+        ["metric", "value"],
+        [
+            ["traces scanned", report.traces_scanned],
+            ["after known-POI filter", report.traces_after_filter],
+            ["seeded hotspots", len(scenario.hotspot_centers)],
+            ["clusters found", report.clusters_found],
+            ["hotspots recovered", matched],
+        ],
+    )
+    assert report.clusters_found == len(scenario.hotspot_centers)
+    assert matched == len(scenario.hotspot_centers)
+    # The known-POI filter must remove (at least) the near-POI traffic.
+    assert (
+        report.traces_scanned - report.traces_after_filter
+        >= scenario.near_known_poi_count
+    )
+    platform.shutdown()
+
+
+def test_mr_dbscan_agrees_with_sequential_at_scale(benchmark):
+    scenario = generate_traces(
+        user_ids=list(range(1, 10)),
+        known_pois=[],
+        num_hotspots=8,
+        points_per_hotspot=200,
+        near_poi_points=0,
+        background_points=1500,
+        seed=32,
+    )
+    points = [GeoPoint(p.lat, p.lon) for p in scenario.points]
+
+    def run_both():
+        t0 = time.perf_counter()
+        seq = dbscan(points, eps_m=60, min_points=12)
+        seq_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        dist = mr_dbscan(points, eps_m=60, min_points=12, target_partitions=16)
+        dist_wall = time.perf_counter() - t0
+        return seq, seq_wall, dist, dist_wall
+
+    seq, seq_wall, dist, dist_wall = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    register_table(
+        "Event detection: sequential DBSCAN vs MR-DBSCAN"
+        " (%d points)" % len(points),
+        ["variant", "clusters", "wall time (s)"],
+        [
+            ["sequential", seq.num_clusters, "%.2f" % seq_wall],
+            ["MR-DBSCAN (16 partitions)", dist.num_clusters,
+             "%.2f" % dist_wall],
+        ],
+    )
+    assert dist.num_clusters == seq.num_clusters

@@ -1,0 +1,82 @@
+"""Figure 2 — personalized query latency vs number of SN friends.
+
+Paper setup (Section 3.1): one query at a time, 500..10000 friends
+picked uniformly at random, clusters of 4/8/16 dual-core nodes, each
+point averaged over 10 repetitions.  Expected shape: latency grows
+almost linearly with friends; larger clusters are proportionally
+faster; >5000 friends stays under ~1 s on 16 nodes.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from ._report import register_table
+from ._workload import (
+    PAPER_CLUSTERS,
+    friend_sample,
+    region_records_for_friends,
+    simulate_query_ms,
+)
+
+#: The paper's x-axis.
+FRIEND_COUNTS = (500, 2000, 3500, 5000, 6500, 8000, 9500)
+REPETITIONS = 10
+
+
+def _figure2_series(platform):
+    """{friends: {nodes: mean_ms}} with the real coprocessor executed
+    once per (friends, repetition) and each cluster size simulated from
+    the captured per-region work."""
+    series = {}
+    for friends in FRIEND_COUNTS:
+        per_nodes = {n: [] for n in PAPER_CLUSTERS}
+        for rep in range(REPETITIONS):
+            ids = friend_sample(friends, seed=100 * friends + rep)
+            records = region_records_for_friends(platform, ids)
+            for nodes in PAPER_CLUSTERS:
+                per_nodes[nodes].append(
+                    simulate_query_ms(records, num_nodes=nodes)[0]
+                )
+        series[friends] = {
+            n: statistics.mean(samples) for n, samples in per_nodes.items()
+        }
+    return series
+
+
+def test_figure2_query_latency_vs_friends(bench_platform, benchmark):
+    series = benchmark.pedantic(
+        _figure2_series, args=(bench_platform,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [friends] + ["%.0f" % series[friends][n] for n in PAPER_CLUSTERS]
+        for friends in FRIEND_COUNTS
+    ]
+    register_table(
+        "Figure 2: query latency (ms) vs number of SN friends",
+        ["friends"] + ["%d nodes" % n for n in PAPER_CLUSTERS],
+        rows,
+    )
+    benchmark.extra_info["series"] = series
+
+    # ---- shape assertions (the paper's claims) ----
+    # (a) latency grows with the number of friends, for every cluster.
+    for nodes in PAPER_CLUSTERS:
+        values = [series[f][nodes] for f in FRIEND_COUNTS]
+        assert all(b > a for a, b in zip(values, values[1:])), values
+    # (b) near-linear growth: the last/first latency ratio tracks the
+    #     friends ratio within a factor of two.
+    for nodes in PAPER_CLUSTERS:
+        ratio = series[FRIEND_COUNTS[-1]][nodes] / series[FRIEND_COUNTS[0]][nodes]
+        friends_ratio = FRIEND_COUNTS[-1] / FRIEND_COUNTS[0]
+        assert friends_ratio / 2 < ratio < friends_ratio * 2
+    # (c) bigger clusters are faster at every point.
+    for friends in FRIEND_COUNTS:
+        assert series[friends][4] > series[friends][8] > series[friends][16]
+    # (d) the paper's headline: >5000 friends in under a second on the
+    #     16-node cluster.
+    assert series[5000][16] < 1000.0
+    assert series[6500][16] < 1500.0

@@ -1,0 +1,118 @@
+"""Figure 3 — mean latency of concurrent personalized queries.
+
+Paper setup: 30..50 concurrent queries, 6000 SN friends each, clusters
+of 4/8/16 nodes.  Expected shape: latency rises with concurrency; at 30
+queries the 16-node cluster is ~2.5x better than 4 nodes; the 16-node
+curve rises the slowest.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from ._report import register_table
+from ._workload import (
+    PAPER_CLUSTERS,
+    friend_sample,
+    region_records_for_friends,
+    simulate_query_ms,
+)
+
+CONCURRENCY_LEVELS = (30, 35, 40, 45, 50)
+FRIENDS_PER_QUERY = 6000
+
+
+def _figure3_series(platform):
+    """{concurrency: {nodes: mean_s}}.
+
+    One 6000-friend region-work profile is captured per distinct query;
+    concurrency replays N profiles through the shared-cluster scheduler.
+    """
+    # Distinct friend sets per concurrent query, as real users differ.
+    profiles = [
+        region_records_for_friends(
+            platform, friend_sample(FRIENDS_PER_QUERY, seed=31 + i)
+        )
+        for i in range(8)
+    ]
+    series = {}
+    for concurrency in CONCURRENCY_LEVELS:
+        series[concurrency] = {}
+        for nodes in PAPER_CLUSTERS:
+            # Cycle the profiles to build the concurrent batch.
+            from repro.cluster import ClusterSimulation, Task
+            from repro.config import ClusterConfig
+            from ._workload import (
+                COST_PER_RECORD_US,
+                MERGE_COST_PER_ITEM_US,
+                REGIONS,
+            )
+
+            sim = ClusterSimulation(
+                ClusterConfig(
+                    num_nodes=nodes,
+                    regions_per_table=REGIONS,
+                    cost_per_record_us=COST_PER_RECORD_US,
+                    merge_cost_per_item_us=MERGE_COST_PER_ITEM_US,
+                )
+            )
+            all_regions = sorted(
+                {r for profile in profiles for r in profile}
+            )
+            sim.place_regions(all_regions)
+            batches = []
+            for qi in range(concurrency):
+                profile = profiles[qi % len(profiles)]
+                batches.append(
+                    [
+                        Task(region_id=r, records_scanned=work[0],
+                             results_returned=work[1], query_id=qi)
+                        for r, work in sorted(profile.items())
+                    ]
+                )
+            timelines = sim.run_queries(batches)
+            series[concurrency][nodes] = statistics.mean(
+                t.latency_s for t in timelines
+            )
+    return series
+
+
+def test_figure3_concurrent_query_latency(bench_platform, benchmark):
+    series = benchmark.pedantic(
+        _figure3_series, args=(bench_platform,), rounds=1, iterations=1
+    )
+
+    rows = [
+        [conc] + ["%.1f" % series[conc][n] for n in PAPER_CLUSTERS]
+        for conc in CONCURRENCY_LEVELS
+    ]
+    register_table(
+        "Figure 3: mean execution time (s) for concurrent queries"
+        " (6000 friends each)",
+        ["concurrent"] + ["%d nodes" % n for n in PAPER_CLUSTERS],
+        rows,
+    )
+    benchmark.extra_info["series"] = series
+
+    # ---- shape assertions ----
+    # (a) more concurrency never helps.
+    for nodes in PAPER_CLUSTERS:
+        values = [series[c][nodes] for c in CONCURRENCY_LEVELS]
+        assert all(b >= a for a, b in zip(values, values[1:])), values
+    # (b) bigger clusters win at every concurrency level.
+    for conc in CONCURRENCY_LEVELS:
+        assert series[conc][4] > series[conc][8] > series[conc][16]
+    # (c) the paper's factor: at 30 queries the 16-node cluster should
+    #     clearly beat 4 nodes.  The paper observed ~2.5x; our simulated
+    #     scaling is closer to ideal (no web-tier/RPC saturation), so we
+    #     accept up to ~5x and record the delta in EXPERIMENTS.md.
+    speedup = series[30][4] / series[30][16]
+    assert 2.0 <= speedup <= 5.0, speedup
+    # (d) the 16-node curve grows the slowest in absolute terms.
+    growth = {
+        n: series[CONCURRENCY_LEVELS[-1]][n] - series[CONCURRENCY_LEVELS[0]][n]
+        for n in PAPER_CLUSTERS
+    }
+    assert growth[16] < growth[8] < growth[4], growth

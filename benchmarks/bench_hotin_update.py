@@ -1,0 +1,72 @@
+"""HotIn Update — the periodic MapReduce aggregation (paper Section 2.2).
+
+Measures the job over the benchmark visit table for several window
+lengths T and verifies the aggregates against a direct computation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from ._report import register_table
+
+WINDOWS = (
+    ("1 day", 86_400),
+    ("1 week", 7 * 86_400),
+    ("1 month", 30 * 86_400),
+)
+
+#: The benchmark visit timestamps span this range (see datagen.visits).
+T_END = 1_430_000_000
+
+
+def test_hotin_update_windows(bench_platform, benchmark):
+    def sweep():
+        rows = []
+        for label, seconds in WINDOWS:
+            t0 = time.perf_counter()
+            report = bench_platform.run_hotin(T_END - seconds, T_END)
+            wall = time.perf_counter() - t0
+            rows.append((label, report, wall))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    register_table(
+        "HotIn update: aggregation window sweep",
+        ["window T", "visits scanned", "POIs updated", "wall time (s)"],
+        [
+            [label, report.visits_scanned, report.pois_updated, "%.2f" % wall]
+            for label, report, wall in rows
+        ],
+    )
+    # Longer windows see more visits and touch more POIs.
+    scanned = [report.visits_scanned for _l, report, _w in rows]
+    assert scanned[0] < scanned[1] < scanned[2]
+
+
+def test_hotin_aggregates_are_exact(bench_platform, benchmark):
+    """The MapReduce output equals a direct single-pass aggregation."""
+    since, until = T_END - 7 * 86_400, T_END
+
+    def run():
+        return bench_platform.run_hotin(since, until)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    expected = {}
+    for visit in bench_platform.visits_repository.all_visits(since, until):
+        count, total = expected.get(visit.poi_id, (0, 0.0))
+        expected[visit.poi_id] = (count + 1, total + visit.grade)
+
+    import random
+
+    rng = random.Random(9)
+    sample = rng.sample(sorted(expected), min(200, len(expected)))
+    for poi_id in sample:
+        count, total = expected[poi_id]
+        poi = bench_platform.poi_repository.get(poi_id)
+        assert poi is not None
+        assert poi.hotness == pytest.approx(float(count))
+        assert poi.interest == pytest.approx(total / count)

@@ -1,0 +1,140 @@
+"""Write-path benchmarks: the repositories' update-rate claims.
+
+Paper Section 2.1: the GPS Traces Repository "is expected to deal with
+a high update rate" (hence HBase, no indexes), while the POI repository
+sees "low insert/update rates" (hence PostgreSQL with rich indexes).
+These benches measure both write paths for real — actual wall time, no
+simulation — plus the LSM machinery (flush + compaction) under load.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.config import ClusterConfig, PlatformConfig
+from repro.core import MoDisSENSE
+from repro.core.repositories.visits import VisitStruct
+from repro.datagen import generate_pois
+from repro.datagen.gps import GPSPoint
+
+from ._report import register_table
+
+N_GPS = 20_000
+N_VISITS = 10_000
+N_POIS = 2_000
+
+
+def _fresh_platform() -> MoDisSENSE:
+    return MoDisSENSE(
+        PlatformConfig(cluster=ClusterConfig(num_nodes=4, regions_per_table=8))
+    )
+
+
+def test_write_throughput(benchmark):
+    platform = _fresh_platform()
+    rng = random.Random(17)
+    pois = generate_pois(count=N_POIS, seed=17)
+
+    gps_points = [
+        GPSPoint(
+            user_id=rng.randint(1, 500),
+            lat=37.9 + rng.random() * 0.2,
+            lon=23.6 + rng.random() * 0.2,
+            timestamp=rng.randint(1, 1_000_000),
+        )
+        for _ in range(N_GPS)
+    ]
+    visits = [
+        VisitStruct(
+            user_id=rng.randint(1, 500),
+            poi_id=rng.randint(1, N_POIS),
+            timestamp=rng.randint(1, 1_000_000),
+            grade=rng.random(),
+            poi_name="Some Place",
+            lat=37.9,
+            lon=23.7,
+            keywords=("food",),
+        )
+        for _ in range(N_VISITS)
+    ]
+
+    def ingest_all():
+        t0 = time.perf_counter()
+        platform.gps_repository.push_many(gps_points)
+        gps_rate = N_GPS / (time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        platform.visits_repository.store_many(visits)
+        visit_rate = N_VISITS / (time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        platform.load_pois(pois)
+        poi_rate = N_POIS / (time.perf_counter() - t0)
+        return gps_rate, visit_rate, poi_rate
+
+    gps_rate, visit_rate, poi_rate = benchmark.pedantic(
+        ingest_all, rounds=1, iterations=1
+    )
+    register_table(
+        "Ingest throughput (writes/second, real wall time)",
+        ["repository", "store", "writes/s"],
+        [
+            ["GPS traces (high update rate)", "HBase", "%.0f" % gps_rate],
+            ["Visits", "HBase", "%.0f" % visit_rate],
+            ["POIs (low insert rate)", "SQL, 4 indexes", "%.0f" % poi_rate],
+        ],
+    )
+    # The unindexed HBase write paths must sustain a high rate.
+    assert gps_rate > 5_000
+    assert visit_rate > 5_000
+    platform.shutdown()
+
+
+def test_flush_and_compaction_under_load(benchmark):
+    """Data stays readable as memstores roll to store files and compact;
+    compaction bounds the file count and read amplification."""
+    from repro.hbase import Cell, HTable, TableDescriptor
+
+    table = HTable(
+        TableDescriptor(
+            name="t", families=["f"], num_regions=4,
+            flush_threshold_bytes=64 * 1024,
+        )
+    )
+    rng = random.Random(23)
+
+    def load_and_compact():
+        for i in range(30_000):
+            row = rng.randrange(1 << 16).to_bytes(2, "big") + b"-%d" % i
+            table.put(
+                Cell(row=row, family="f", qualifier=b"q",
+                     timestamp=i, value=b"x" * 40)
+            )
+        files_before = sum(r.store_file_count("f") for r in table.regions)
+        t0 = time.perf_counter()
+        table.compact()
+        compact_s = time.perf_counter() - t0
+        files_after = sum(r.store_file_count("f") for r in table.regions)
+        t0 = time.perf_counter()
+        scanned = sum(1 for _ in table.scan("f"))
+        scan_s = time.perf_counter() - t0
+        return files_before, files_after, compact_s, scanned, scan_s
+
+    files_before, files_after, compact_s, scanned, scan_s = benchmark.pedantic(
+        load_and_compact, rounds=1, iterations=1
+    )
+    register_table(
+        "LSM maintenance: 30k writes with 64 KiB memstores",
+        ["metric", "value"],
+        [
+            ["store files before compaction", files_before],
+            ["store files after compaction", files_after],
+            ["compaction wall time (s)", "%.2f" % compact_s],
+            ["rows scanned after compaction", scanned],
+            ["full scan wall time (s)", "%.2f" % scan_s],
+        ],
+    )
+    assert files_before > files_after
+    assert files_after <= 4  # one per region
+    assert scanned == 30_000

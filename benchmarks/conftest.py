@@ -1,0 +1,23 @@
+"""Benchmark fixtures and end-of-run report printing."""
+
+from __future__ import annotations
+
+import pytest
+
+from . import _report
+from ._workload import build_platform
+
+
+@pytest.fixture(scope="session")
+def bench_platform():
+    """The ingested benchmark platform (built once per run)."""
+    platform = build_platform()
+    yield platform
+    platform.shutdown()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every registered paper table at the end of the run."""
+    for title, header, rows in _report.drain_tables():
+        terminalreporter.write(_report.format_table(title, header, rows))
+        terminalreporter.write("\n")

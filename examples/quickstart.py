@@ -1,0 +1,98 @@
+"""Quickstart: stand up a MoDisSENSE platform and run the full loop.
+
+Covers the complete lifecycle in one script: load POIs, train the
+sentiment classifier, register a user with social credentials (OAuth),
+collect check-ins from the simulated social network, and run a
+personalized search for restaurants the user's friends love.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import MoDisSENSE, SearchQuery
+from repro.config import PlatformConfig
+from repro.datagen import ReviewGenerator, generate_pois
+from repro.geo import BoundingBox
+from repro.social import CheckIn, FriendInfo
+
+
+def main() -> None:
+    # A small deployment: 4 simulated nodes, 8 regions per table.
+    platform = MoDisSENSE(PlatformConfig.small())
+
+    # 1. Load the POI catalog (synthetic OpenStreetMap Greece extract).
+    pois = generate_pois(count=1000, seed=1)
+    platform.load_pois(pois)
+    print("Loaded %d POIs" % platform.poi_repository.count())
+
+    # 2. Train the sentiment classifier on a Tripadvisor-style corpus.
+    corpus = ReviewGenerator(seed=2, capacity=5000).labeled_texts(2000)
+    report = platform.text_processing.train(corpus)
+    print(
+        "Classifier trained: %.1f%% training accuracy, %d features"
+        % (100 * report.training_accuracy, report.vocabulary_size)
+    )
+
+    # 3. Populate the simulated Facebook with our user and friends.
+    facebook = platform.plugins["facebook"]
+    facebook.add_profile(FriendInfo("fb_1", "Maria", "https://img/1.jpg"))
+    for i in range(2, 12):
+        facebook.add_profile(
+            FriendInfo("fb_%d" % i, "Friend %d" % i, "https://img/%d.jpg" % i)
+        )
+        facebook.add_friendship("fb_1", "fb_%d" % i)
+
+    # Friends check in around Athens and leave opinions.
+    rng = random.Random(3)
+    athens = BoundingBox(37.9, 23.6, 38.1, 23.85)
+    athens_pois = [p for p in pois if athens.contains_coords(p.lat, p.lon)]
+    for i in range(2, 12):
+        for _ in range(8):
+            poi = rng.choice(athens_pois)
+            comment = (
+                "excellent delicious wonderful evening"
+                if rng.random() < 0.7
+                else "overpriced bland disappointing"
+            )
+            facebook.add_checkin(
+                CheckIn("fb_%d" % i, poi.poi_id, poi.lat, poi.lon,
+                        rng.randint(1_000, 9_999), comment)
+            )
+
+    # 4. Register via OAuth and collect social data.
+    user = platform.register_user("facebook", "fb_1", "pw", now=10_000.0)
+    print("Registered %s (user_id=%d)" % (user.display_name, user.user_id))
+    collected = platform.collect(now=10_000)
+    print(
+        "Collected %d check-ins, classified %d comments"
+        % (collected.checkins_ingested, collected.comments_classified)
+    )
+
+    # 5. Personalized search: top restaurants my friends like in Athens.
+    result = platform.search(
+        SearchQuery(
+            bbox=athens,
+            keywords=("food", "restaurant", "dinner"),
+            friend_ids=tuple(range(2, 12)),
+            sort_by="interest",
+            limit=5,
+        )
+    )
+    print("\nTop picks from your friends (simulated latency %.1f ms):"
+          % result.latency_ms)
+    for rank, poi in enumerate(result.pois, start=1):
+        print(
+            "  %d. %-30s score %.2f  (%d friend visits)"
+            % (rank, poi.name, poi.score, poi.visit_count)
+        )
+
+    platform.shutdown()
+
+
+if __name__ == "__main__":
+    main()

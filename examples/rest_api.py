@@ -1,0 +1,106 @@
+"""Driving the platform through its REST/JSON boundary.
+
+The web, Android and iOS clients talk to MoDisSENSE exclusively through
+a JSON-over-REST API (paper Section 2).  This example exercises the
+same endpoints with plain dictionaries — register, link, search,
+trending, GPS push, blog lifecycle — including how errors come back as
+uniform envelopes instead of exceptions.
+
+Run with::
+
+    python examples/rest_api.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro import MoDisSENSE, RestApi
+from repro.config import PlatformConfig
+from repro.datagen import ReviewGenerator, generate_pois
+from repro.social import CheckIn, FriendInfo
+
+
+def show(label: str, response: dict) -> None:
+    print("%s ->" % label)
+    print("  " + json.dumps(response, indent=2).replace("\n", "\n  ")[:600])
+    print()
+
+
+def main() -> None:
+    platform = MoDisSENSE(PlatformConfig.small())
+    pois = generate_pois(count=500, seed=50)
+    platform.load_pois(pois)
+    platform.text_processing.train(
+        ReviewGenerator(seed=51, capacity=4000).labeled_texts(1200)
+    )
+    facebook = platform.plugins["facebook"]
+    facebook.add_profile(FriendInfo("fb_1", "Nikos", "pic"))
+    rng = random.Random(52)
+    for i in range(2, 10):
+        facebook.add_profile(FriendInfo("fb_%d" % i, "Friend %d" % i, "pic"))
+        facebook.add_friendship("fb_1", "fb_%d" % i)
+        for _ in range(5):
+            poi = rng.choice(pois)
+            facebook.add_checkin(
+                CheckIn("fb_%d" % i, poi.poi_id, poi.lat, poi.lon,
+                        rng.randint(100, 9000), "lovely wonderful place")
+            )
+
+    api = RestApi(platform)
+    print("Available endpoints:", ", ".join(api.endpoints()), "\n")
+
+    # OAuth-style registration.
+    show("POST /register", api.handle("register", {
+        "network": "facebook", "network_user_id": "fb_1",
+        "password": "pw", "now": 10_000.0,
+    }))
+
+    # Wrong password: an error envelope, not a stack trace.
+    show("POST /register (bad password)", api.handle("register", {
+        "network": "facebook", "network_user_id": "fb_1",
+        "password": "oops", "now": 10_000.0,
+    }))
+
+    platform.collect(now=10_000)
+
+    show("POST /search (personalized)", api.handle("search", {
+        "friend_ids": list(range(2, 10)), "sort_by": "interest", "limit": 3,
+    }))
+
+    show("POST /trending", api.handle("trending", {
+        "now": 10_000, "window_s": 9_900,
+        "friend_ids": list(range(2, 10)), "limit": 3,
+    }))
+
+    # Malformed request: schema validation catches it.
+    show("POST /search (malformed)", api.handle("search", {
+        "friend_ids": "not-a-list",
+    }))
+
+    # GPS + blog lifecycle.
+    day0 = 1_433_030_400
+    points = [
+        {"user_id": 1, "lat": 37.98, "lon": 23.73,
+         "timestamp": day0 + 9 * 3600 + i * 240}
+        for i in range(10)
+    ]
+    show("POST /push_gps", api.handle("push_gps", {"points": points}))
+    blog = api.handle("generate_blog", {
+        "user_id": 1, "day_start": day0, "day_end": day0 + 86_400,
+    })
+    show("POST /generate_blog", blog)
+    blog_id = blog["data"]["blog_id"]
+    show("POST /update_blog (annotate)", api.handle("update_blog", {
+        "blog_id": blog_id, "visit_index": 0, "note": "morning coffee spot",
+    }))
+    show("POST /publish_blog", api.handle("publish_blog", {
+        "blog_id": blog_id, "network": "facebook", "now": 20_000.0,
+    }))
+
+    platform.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Trending events: "the k hottest places in the last y hours".
+
+Demonstrates both trending flavors from the paper's introduction:
+
+- the global query ("show me the five hottest places in town
+  yesterday night") answered from the HotIn-maintained hotness metric;
+- the personalized query ("the three hottest places visited by my x
+  specific Foursquare friends the last y hours") answered live from the
+  friends' visit streams via coprocessors.
+
+Run with::
+
+    python examples/trending_events.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import MoDisSENSE, TrendingQuery
+from repro.config import PlatformConfig
+from repro.datagen import ReviewGenerator, generate_pois
+from repro.geo import BoundingBox
+from repro.social import CheckIn, FriendInfo
+
+NOW = 1_000_000
+HOUR = 3600
+
+
+def main() -> None:
+    platform = MoDisSENSE(PlatformConfig.small())
+    pois = generate_pois(count=800, seed=20)
+    platform.load_pois(pois)
+    platform.text_processing.train(
+        ReviewGenerator(seed=21, capacity=4000).labeled_texts(1500)
+    )
+
+    # A Foursquare-style social circle that spent last night out.
+    foursquare = platform.plugins["foursquare"]
+    foursquare.add_profile(FriendInfo("fq_1", "Night Owl", "pic"))
+    for i in range(2, 32):
+        foursquare.add_profile(FriendInfo("fq_%d" % i, "Friend %d" % i, "pic"))
+        foursquare.add_friendship("fq_1", "fq_%d" % i)
+
+    rng = random.Random(22)
+    bars = [p for p in pois if p.category == "bar"]
+    hot_bar = bars[0]  # tonight's trending spot
+    for i in range(2, 32):
+        # Everyone passes through the hot bar within the last 3 hours...
+        foursquare.add_checkin(
+            CheckIn("fq_%d" % i, hot_bar.poi_id, hot_bar.lat, hot_bar.lon,
+                    NOW - rng.randint(0, 3 * HOUR), "amazing night"))
+        # ...and visits a random place some time last week.
+        other = rng.choice(bars[1:])
+        foursquare.add_checkin(
+            CheckIn("fq_%d" % i, other.poi_id, other.lat, other.lon,
+                    NOW - rng.randint(24, 160) * HOUR, "fine"))
+
+    platform.register_user("foursquare", "fq_1", "pw", now=float(NOW))
+    platform.collect(now=NOW)
+
+    friends = tuple(range(2, 32))
+
+    print("Personalized trending, last 3 hours (my 30 Foursquare friends):")
+    recent = platform.trending_events(
+        TrendingQuery(now=NOW, window_s=3 * HOUR, friend_ids=friends, limit=3)
+    )
+    for poi in recent.pois:
+        print("  %-34s %d visits" % (poi.name, int(poi.score)))
+
+    print("\nPersonalized trending, last 7 days:")
+    weekly = platform.trending_events(
+        TrendingQuery(now=NOW, window_s=7 * 24 * HOUR, friend_ids=friends,
+                      limit=5)
+    )
+    for poi in weekly.pois:
+        print("  %-34s %d visits" % (poi.name, int(poi.score)))
+
+    # Global trending needs the periodic HotIn aggregation first.
+    platform.run_hotin(NOW - 24 * HOUR, NOW)
+    print("\nGlobal trending (HotIn hotness, last 24h window):")
+    global_hot = platform.trending_events(
+        TrendingQuery(now=NOW, window_s=24 * HOUR, limit=5)
+    )
+    for poi in global_hot.pois:
+        print("  %-34s hotness %.0f" % (poi.name, poi.score))
+
+    platform.shutdown()
+
+
+if __name__ == "__main__":
+    main()

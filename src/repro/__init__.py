@@ -1,0 +1,39 @@
+"""MoDisSENSE reproduction.
+
+A from-scratch Python implementation of *MoDisSENSE: A Distributed
+Spatio-Temporal and Textual Processing Platform for Social Networking
+Services* (Mytilinis et al., SIGMOD 2015), including every substrate the
+paper deploys: an HBase-compatible store with region coprocessors, a
+PostgreSQL-style relational engine, a MapReduce framework, a sentiment
+stack, distributed DBSCAN, simulated social networks, and the platform
+layer that composes them.
+
+Quickstart::
+
+    from repro import MoDisSENSE, SearchQuery
+    from repro.config import PlatformConfig
+
+    platform = MoDisSENSE(PlatformConfig.small())
+    ...
+"""
+
+from .config import ClusterConfig, JobsConfig, PlatformConfig, SentimentConfig
+from .core import MoDisSENSE, ScoredPOI, SearchQuery, SearchResult
+from .core.api import RestApi
+from .core.modules.trending import TrendingQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MoDisSENSE",
+    "RestApi",
+    "SearchQuery",
+    "SearchResult",
+    "ScoredPOI",
+    "TrendingQuery",
+    "PlatformConfig",
+    "ClusterConfig",
+    "SentimentConfig",
+    "JobsConfig",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Simulated distributed cluster.
+
+The paper evaluates MoDisSENSE on OpenStack clusters of 4, 8 and 16
+dual-core VMs.  This package reproduces that environment in-process:
+
+- :class:`Node` models one VM with a fixed number of cores;
+- :class:`ClusterSimulation` places HBase regions on nodes and schedules
+  region-local work (coprocessor invocations) onto cores with a
+  deterministic list scheduler and a calibrated cost model, yielding the
+  *simulated* latencies the benchmarks report;
+- :class:`ParallelExecutor` runs the same region functions for real on a
+  thread pool, so results are always computed, never faked — only the
+  *timing* is simulated.
+"""
+
+from .node import Node
+from .simulation import CostModel, Task, QueryTimeline, ClusterSimulation
+from .executor import ParallelExecutor
+from .webfarm import WebServerFarm, MergeWork
+
+__all__ = [
+    "Node",
+    "CostModel",
+    "Task",
+    "QueryTimeline",
+    "ClusterSimulation",
+    "ParallelExecutor",
+    "WebServerFarm",
+    "MergeWork",
+]

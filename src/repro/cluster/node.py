@@ -1,0 +1,54 @@
+"""Simulated cluster node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import ConfigError
+
+
+@dataclass
+class Node:
+    """One simulated machine (the paper's dual-core, 2 GB VM).
+
+    ``core_available_at`` holds, per core, the simulated timestamp at
+    which the core next becomes free; the scheduler in
+    :mod:`repro.cluster.simulation` updates it as it places tasks.
+    """
+
+    node_id: int
+    cores: int = 2
+    core_available_at: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError("a node needs at least one core")
+        if not self.core_available_at:
+            self.core_available_at = [0.0] * self.cores
+
+    def reset(self) -> None:
+        """Mark every core idle at simulated time zero."""
+        self.core_available_at = [0.0] * self.cores
+
+    def earliest_core(self) -> int:
+        """Index of the core that frees up first."""
+        best = 0
+        best_t = self.core_available_at[0]
+        for i in range(1, self.cores):
+            if self.core_available_at[i] < best_t:
+                best_t = self.core_available_at[i]
+                best = i
+        return best
+
+    def schedule(self, ready_at: float, duration: float) -> float:
+        """Place a task that becomes ready at ``ready_at`` and runs for
+        ``duration`` seconds on this node's earliest core.
+
+        Returns the simulated completion time.
+        """
+        core = self.earliest_core()
+        start = max(ready_at, self.core_available_at[core])
+        finish = start + duration
+        self.core_available_at[core] = finish
+        return finish

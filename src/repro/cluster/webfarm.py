@@ -1,0 +1,101 @@
+"""The web-server tier.
+
+Paper Section 3.1: "since greater number of concurrent queries leads to
+more threads in the Web Server ... we can avoid any potential
+bottlenecks by replicating the Web Servers while simultaneously, we use
+a load balancer to route the traffic to the web servers accordingly.
+In our experimental setup, we identified that two 4-cores web servers
+with 4 GB of RAM each are more than enough."
+
+:class:`WebServerFarm` models that tier: a load balancer routes each
+query's merge work to a server, and servers process merges on their
+cores with the same list-scheduling the HBase tier uses.  The
+``bench_web_tier`` benchmark reproduces the paper's sizing claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
+from .node import Node
+
+ROUTE_ROUND_ROBIN = "round_robin"
+ROUTE_LEAST_LOADED = "least_loaded"
+
+
+@dataclass
+class MergeWork:
+    """One query's client-side merge job."""
+
+    query_id: int
+    items: int
+    ready_at: float
+
+
+class WebServerFarm:
+    """Load-balanced web servers executing query merges.
+
+    Parameters
+    ----------
+    num_servers:
+        Replicated web servers behind the balancer (the paper used 2).
+    cores_per_server:
+        4 in the paper's setup.
+    merge_cost_per_item_s:
+        Cost of merging one partial-result item on one core.
+    routing:
+        ``round_robin`` (the classic balancer default) or
+        ``least_loaded`` (routes to the server whose cores free first).
+    """
+
+    def __init__(
+        self,
+        num_servers: int = 2,
+        cores_per_server: int = 4,
+        merge_cost_per_item_s: float = 1.5e-6,
+        routing: str = ROUTE_ROUND_ROBIN,
+    ) -> None:
+        if num_servers < 1:
+            raise ConfigError("num_servers must be >= 1")
+        if routing not in (ROUTE_ROUND_ROBIN, ROUTE_LEAST_LOADED):
+            raise ConfigError("unknown routing policy %r" % routing)
+        self.servers: List[Node] = [
+            Node(node_id=i, cores=cores_per_server)
+            for i in range(num_servers)
+        ]
+        self.merge_cost_per_item_s = merge_cost_per_item_s
+        self.routing = routing
+        self._next_server = 0
+
+    def reset(self) -> None:
+        for server in self.servers:
+            server.reset()
+        self._next_server = 0
+
+    def _route(self) -> Node:
+        if self.routing == ROUTE_ROUND_ROBIN:
+            server = self.servers[self._next_server % len(self.servers)]
+            self._next_server += 1
+            return server
+        return min(
+            self.servers,
+            key=lambda s: s.core_available_at[s.earliest_core()],
+        )
+
+    def schedule_merges(self, work: Sequence[MergeWork]) -> List[float]:
+        """Place each merge on a server; returns completion times
+        aligned with the input order."""
+        finishes: List[float] = []
+        for job in work:
+            server = self._route()
+            duration = job.items * self.merge_cost_per_item_s
+            finishes.append(server.schedule(job.ready_at, duration))
+        return finishes
+
+    def utilization_spread(self) -> float:
+        """Max-minus-min busy time across servers — the balancer's
+        fairness signal (0 means perfectly even)."""
+        busy = [max(s.core_available_at) for s in self.servers]
+        return max(busy) - min(busy)

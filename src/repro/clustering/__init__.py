@@ -1,0 +1,21 @@
+"""Density-based clustering for event/POI detection.
+
+The Event Detection Module applies "a distributed, Hadoop-based
+implementation of the DBSCAN clustering algorithm" (MR-DBSCAN, He et
+al., ICPADS 2011) to GPS traces: dense concentrations of traces signify
+new POIs or trending events.  This package provides the sequential
+baseline and the distributed version, which must agree (property-tested).
+"""
+
+from .dbscan import dbscan, ClusteringResult, NOISE
+from .grid import GridPartitioner, GridCell
+from .mr_dbscan import mr_dbscan
+
+__all__ = [
+    "dbscan",
+    "ClusteringResult",
+    "NOISE",
+    "GridPartitioner",
+    "GridCell",
+    "mr_dbscan",
+]

@@ -1,0 +1,103 @@
+"""Spatial grid partitioning with eps-halos for MR-DBSCAN."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ValidationError
+from ..geo import BoundingBox, GeoPoint
+
+
+@dataclass
+class GridCell:
+    """One MR-DBSCAN partition.
+
+    ``inner`` holds indexes of points the cell *owns*; ``halo`` holds
+    indexes of points within eps of the cell border, replicated from
+    neighbouring cells so local DBSCAN sees full neighborhoods.
+    """
+
+    cell_id: Tuple[int, int]
+    box: BoundingBox
+    inner: List[int] = field(default_factory=list)
+    halo: List[int] = field(default_factory=list)
+
+    @property
+    def all_indexes(self) -> List[int]:
+        return self.inner + self.halo
+
+
+class GridPartitioner:
+    """Cuts space into cells of at least ``2*eps`` on a side.
+
+    The 2*eps lower bound guarantees a point's whole eps-neighborhood is
+    contained in its own cell plus the halo — the correctness condition
+    of MR-DBSCAN's local step.
+    """
+
+    def __init__(self, eps_m: float, target_cells: int = 16) -> None:
+        if eps_m <= 0:
+            raise ValidationError("eps_m must be positive")
+        if target_cells < 1:
+            raise ValidationError("target_cells must be >= 1")
+        self.eps_m = eps_m
+        self.target_cells = target_cells
+
+    def partition(self, points: Sequence[GeoPoint]) -> List[GridCell]:
+        """Assign points to grid cells and build each cell's halo."""
+        points = list(points)
+        if not points:
+            return []
+        bbox = BoundingBox.from_points(points)
+        # Degenerate boxes (all points identical) become a single cell.
+        span = bbox.expand_m(self.eps_m)
+
+        side = max(1, int(math.sqrt(self.target_cells)))
+        rows = cols = side
+        # Enforce the 2*eps minimum cell dimension.
+        from ..geo.distance import METERS_PER_DEG_LAT, meters_per_deg_lon
+
+        lat_extent_m = (span.max_lat - span.min_lat) * METERS_PER_DEG_LAT
+        mid_lat = (span.min_lat + span.max_lat) / 2.0
+        lon_extent_m = (span.max_lon - span.min_lon) * meters_per_deg_lon(mid_lat)
+        max_rows = max(1, int(lat_extent_m / (2.0 * self.eps_m)))
+        max_cols = max(1, int(lon_extent_m / (2.0 * self.eps_m)))
+        rows = min(rows, max_rows)
+        cols = min(cols, max_cols)
+
+        boxes = span.split_grid(rows, cols)
+        cells: Dict[Tuple[int, int], GridCell] = {}
+        for r in range(rows):
+            for c in range(cols):
+                cells[(r, c)] = GridCell(cell_id=(r, c), box=boxes[r * cols + c])
+
+        dlat = (span.max_lat - span.min_lat) / rows
+        dlon = (span.max_lon - span.min_lon) / cols
+
+        def owner_of(p: GeoPoint) -> Tuple[int, int]:
+            r = min(rows - 1, max(0, int((p.lat - span.min_lat) / max(dlat, 1e-12))))
+            c = min(cols - 1, max(0, int((p.lon - span.min_lon) / max(dlon, 1e-12))))
+            return (r, c)
+
+        for idx, p in enumerate(points):
+            cells[owner_of(p)].inner.append(idx)
+
+        # Halo replication: a point joins the halo of every *other* cell
+        # whose eps-expanded box contains it.
+        expanded = {
+            cid: cell.box.expand_m(self.eps_m) for cid, cell in cells.items()
+        }
+        for idx, p in enumerate(points):
+            owner = owner_of(p)
+            r0, c0 = owner
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    cid = (r0 + dr, c0 + dc)
+                    if cid == owner or cid not in cells:
+                        continue
+                    if expanded[cid].contains(p):
+                        cells[cid].halo.append(idx)
+
+        return [cell for cell in cells.values() if cell.inner or cell.halo]

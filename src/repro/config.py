@@ -1,0 +1,151 @@
+"""Platform-wide configuration objects.
+
+The paper deploys MoDisSENSE on an OpenStack cluster of dual-core VMs and
+tunes the number of HBase nodes (4, 8, 16), the number of regions per
+table, and the periodic-job windows.  :class:`PlatformConfig` gathers the
+same knobs in one validated place so experiments can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+#: Bounding box used for the paper's synthetic dataset: POIs "located in
+#: Greece" collected from OpenStreetMap (Section 3.1).
+GREECE_BBOX = (34.8, 19.3, 41.8, 29.6)  # (min_lat, min_lon, max_lat, max_lon)
+
+#: Paper Section 3.1 workload constants.
+PAPER_NUM_POIS = 8500
+PAPER_NUM_USERS = 150_000
+PAPER_VISITS_MEAN = 170.0
+PAPER_VISITS_STD = 101.0
+PAPER_CLUSTER_SIZES = (4, 8, 16)
+
+
+@dataclass
+class ClusterConfig:
+    """Shape and cost model of the simulated HBase/Hadoop cluster.
+
+    The cost-model constants are calibrated so that the 16-node cluster
+    answers a 5000-friend personalized query in under a second, matching
+    the paper's Figure 2 (see ``repro/cluster/simulation.py``).
+    """
+
+    num_nodes: int = 16
+    cores_per_node: int = 2
+    regions_per_table: int = 32
+    #: Simulated one-way RPC latency between client and a region server.
+    rpc_latency_ms: float = 1.2
+    #: Simulated per-visit-record processing cost inside a coprocessor.
+    #: Calibrated so 5000 friends x ~170 visits on 16 dual-core nodes
+    #: lands just under 1 s (paper Figure 2's headline).
+    cost_per_record_us: float = 17.5
+    #: Simulated fixed cost of starting a coprocessor invocation.
+    coprocessor_setup_ms: float = 0.35
+    #: Simulated per-result merge cost at the web-server tier.
+    merge_cost_per_item_us: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigError("num_nodes must be >= 1, got %r" % self.num_nodes)
+        if self.cores_per_node < 1:
+            raise ConfigError(
+                "cores_per_node must be >= 1, got %r" % self.cores_per_node
+            )
+        if self.regions_per_table < 1:
+            raise ConfigError(
+                "regions_per_table must be >= 1, got %r" % self.regions_per_table
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of simulated worker cores in the cluster."""
+        return self.num_nodes * self.cores_per_node
+
+
+@dataclass
+class SentimentConfig:
+    """Knobs of the Naive Bayes sentiment pipeline (paper Section 3.2)."""
+
+    use_tf: bool = True
+    use_bigrams: bool = True
+    use_bns: bool = True
+    min_occurrences: int = 3
+    #: Fraction of features retained when BNS feature selection is on.
+    bns_keep_fraction: float = 0.4
+    stem: bool = True
+    remove_stopwords: bool = True
+    lowercase: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_occurrences < 0:
+            raise ConfigError("min_occurrences must be >= 0")
+        if not 0.0 < self.bns_keep_fraction <= 1.0:
+            raise ConfigError("bns_keep_fraction must be in (0, 1]")
+
+    @classmethod
+    def baseline(cls) -> "SentimentConfig":
+        """The paper's *baseline training process*: stemming, lowercase and
+        stopword removal only — none of the four optimizations."""
+        return cls(
+            use_tf=False,
+            use_bigrams=False,
+            use_bns=False,
+            min_occurrences=0,
+        )
+
+    @classmethod
+    def optimized(cls) -> "SentimentConfig":
+        """The paper's tuned configuration (tf, 2-grams, BNS, pruning)."""
+        return cls()
+
+
+@dataclass
+class JobsConfig:
+    """Periods of the platform's batch jobs, in simulated seconds."""
+
+    data_collection_period_s: float = 900.0
+    hotin_update_period_s: float = 3600.0
+    event_detection_period_s: float = 3600.0
+    #: Aggregation window *T* for hotness/interest (paper Section 2.2).
+    hotin_window_s: float = 7 * 24 * 3600.0
+    #: DBSCAN parameters for event detection.
+    dbscan_eps_m: float = 60.0
+    dbscan_min_points: int = 12
+    #: GPS points closer than this to a known POI are filtered before
+    #: clustering (paper Section 2.2, Event Detection Module).
+    known_poi_filter_radius_m: float = 80.0
+
+    def __post_init__(self) -> None:
+        if self.dbscan_eps_m <= 0:
+            raise ConfigError("dbscan_eps_m must be positive")
+        if self.dbscan_min_points < 1:
+            raise ConfigError("dbscan_min_points must be >= 1")
+
+
+@dataclass
+class PlatformConfig:
+    """Top-level configuration for a MoDisSENSE deployment."""
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    sentiment: SentimentConfig = field(default_factory=SentimentConfig)
+    jobs: JobsConfig = field(default_factory=JobsConfig)
+    #: Seed for all synthetic-data randomness; fixed for reproducibility.
+    seed: int = 2015
+
+    @classmethod
+    def small(cls) -> "PlatformConfig":
+        """A configuration sized for unit tests: 4 nodes, 8 regions."""
+        return cls(cluster=ClusterConfig(num_nodes=4, regions_per_table=8))
+
+    @classmethod
+    def paper(cls, num_nodes: int = 16) -> "PlatformConfig":
+        """The paper's experimental setup for a given cluster size."""
+        if num_nodes not in PAPER_CLUSTER_SIZES:
+            raise ConfigError(
+                "paper cluster sizes are %s, got %r"
+                % (PAPER_CLUSTER_SIZES, num_nodes)
+            )
+        return cls(cluster=ClusterConfig(num_nodes=num_nodes))

@@ -1,0 +1,19 @@
+"""The MoDisSENSE platform: repositories, processing modules, REST API.
+
+This package is the paper's primary contribution — everything in Figure
+1's backend box — assembled over the substrates in the sibling packages:
+
+- :mod:`repositories` maps each paper repository to its store (POIs and
+  blogs on the SQL engine; social info, texts, visits and GPS traces on
+  the HBase cluster);
+- :mod:`modules` implements the processing modules (user management,
+  data collection, text processing, event detection, HotIn update,
+  query answering, trending, trajectory/blog);
+- :mod:`api` is the REST/JSON boundary the web and mobile clients call;
+- :class:`~repro.core.platform.MoDisSENSE` wires it all together.
+"""
+
+from .platform import MoDisSENSE
+from .modules.query_answering import SearchQuery, SearchResult, ScoredPOI
+
+__all__ = ["MoDisSENSE", "SearchQuery", "SearchResult", "ScoredPOI"]

@@ -1,0 +1,11 @@
+"""REST/JSON API layer.
+
+"The frontend applications communicate with the backend through a REST
+API.  A specific JSON format has been defined in order to send requests
+to the backend and return results to the user." (paper Section 2)
+"""
+
+from .rest import RestApi
+from .json_format import validate_request, ApiResponse
+
+__all__ = ["RestApi", "validate_request", "ApiResponse"]

@@ -1,0 +1,139 @@
+"""The platform's JSON request/response format and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ...errors import ValidationError
+
+
+@dataclass
+class ApiResponse:
+    """Uniform response envelope."""
+
+    status: str  # "ok" | "error"
+    data: Any = None
+    error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"status": self.status}
+        if self.status == "ok":
+            out["data"] = self.data
+        else:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def ok(cls, data: Any) -> "ApiResponse":
+        return cls(status="ok", data=data)
+
+    @classmethod
+    def fail(cls, message: str) -> "ApiResponse":
+        return cls(status="error", error=message)
+
+
+#: endpoint -> {field: (type(s), required)}
+REQUEST_SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    "register": {
+        "network": (str, True),
+        "network_user_id": (str, True),
+        "password": (str, True),
+        "now": ((int, float), True),
+    },
+    "link_network": {
+        "user_id": (int, True),
+        "network": (str, True),
+        "network_user_id": (str, True),
+        "password": (str, True),
+        "now": ((int, float), True),
+    },
+    "search": {
+        "bbox": (list, False),
+        "keywords": (list, False),
+        "friend_ids": (list, False),
+        "since": (int, False),
+        "until": (int, False),
+        "sort_by": (str, False),
+        "limit": (int, False),
+    },
+    "trending": {
+        "now": (int, True),
+        "window_s": (int, True),
+        "bbox": (list, False),
+        "friend_ids": (list, False),
+        "limit": (int, False),
+    },
+    "push_gps": {
+        "points": (list, True),
+    },
+    "generate_blog": {
+        "user_id": (int, True),
+        "day_start": (int, True),
+        "day_end": (int, True),
+    },
+    "get_blogs": {
+        "user_id": (int, True),
+    },
+    "update_blog": {
+        "blog_id": (int, True),
+        "new_order": (list, False),
+        "visit_index": (int, False),
+        "arrival": (int, False),
+        "departure": (int, False),
+        "note": (str, False),
+    },
+    "publish_blog": {
+        "blog_id": (int, True),
+        "network": (str, True),
+        "now": ((int, float), True),
+    },
+    "friends": {
+        "user_id": (int, True),
+        "network": (str, False),
+    },
+    "admin_describe": {},
+    "admin_metrics": {},
+    "explain": {
+        "bbox": (list, False),
+        "keywords": (list, False),
+        "friend_ids": (list, True),
+        "since": (int, False),
+        "until": (int, False),
+    },
+}
+
+
+def validate_request(endpoint: str, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Check field presence and types against the endpoint's schema.
+
+    Booleans are rejected where ints are expected (bool subclasses int
+    in Python, which would let ``true`` slip into numeric fields).
+    """
+    schema = REQUEST_SCHEMAS.get(endpoint)
+    if schema is None:
+        raise ValidationError("unknown endpoint %r" % endpoint)
+    if not isinstance(request, dict):
+        raise ValidationError("request body must be a JSON object")
+    unknown = set(request) - set(schema)
+    if unknown:
+        raise ValidationError(
+            "unknown fields %s for endpoint %r" % (sorted(unknown), endpoint)
+        )
+    for name, (types, required) in schema.items():
+        if name not in request or request[name] is None:
+            if required:
+                raise ValidationError(
+                    "missing required field %r for endpoint %r" % (name, endpoint)
+                )
+            continue
+        value = request[name]
+        if isinstance(value, bool) and types in (int, (int, float)):
+            raise ValidationError(
+                "field %r must be numeric, got a boolean" % name
+            )
+        if not isinstance(value, types):
+            raise ValidationError(
+                "field %r has wrong type %s" % (name, type(value).__name__)
+            )
+    return request

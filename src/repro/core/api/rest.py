@@ -1,0 +1,242 @@
+"""The REST dispatcher the web/mobile clients would call.
+
+Endpoints take and return plain dicts (the JSON bodies); the transport
+layer (HTTP server farm) is outside the reproduction boundary.  Every
+platform error is converted to a uniform error envelope so clients never
+see stack traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ...datagen.gps import GPSPoint
+from ...errors import ReproError
+from ...geo import BoundingBox
+from ..modules.query_answering import SearchQuery
+from ..modules.trending import TrendingQuery
+from ..platform import MoDisSENSE
+from ..repositories.blogs import BlogEntry
+from .json_format import ApiResponse, validate_request
+
+
+class RestApi:
+    """JSON-in / JSON-out facade over a :class:`MoDisSENSE` platform."""
+
+    def __init__(self, platform: MoDisSENSE) -> None:
+        self.platform = platform
+        self._routes: Dict[str, Callable] = {
+            "register": self._register,
+            "link_network": self._link_network,
+            "search": self._search,
+            "trending": self._trending,
+            "push_gps": self._push_gps,
+            "generate_blog": self._generate_blog,
+            "get_blogs": self._get_blogs,
+            "update_blog": self._update_blog,
+            "publish_blog": self._publish_blog,
+            "friends": self._friends,
+            "admin_describe": self._admin_describe,
+            "admin_metrics": self._admin_metrics,
+            "explain": self._explain,
+        }
+        #: Optional metrics sink; set by attach_metrics().
+        self._metrics = None
+
+    def handle(self, endpoint: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one request; always returns a response envelope."""
+        try:
+            handler = self._routes.get(endpoint)
+            if handler is None:
+                return ApiResponse.fail("unknown endpoint %r" % endpoint).as_dict()
+            validate_request(endpoint, request)
+            return ApiResponse.ok(handler(request)).as_dict()
+        except ReproError as exc:
+            return ApiResponse.fail(str(exc)).as_dict()
+
+    def handle_json(self, endpoint: str, body: str) -> str:
+        """Wire-format variant: JSON string in, JSON string out.
+
+        A malformed body is an error envelope, never an exception — the
+        same contract HTTP clients get from the real server farm.
+        """
+        import json
+
+        try:
+            request = json.loads(body) if body.strip() else {}
+        except json.JSONDecodeError as exc:
+            return json.dumps(
+                ApiResponse.fail("malformed JSON: %s" % exc).as_dict()
+            )
+        if not isinstance(request, dict):
+            return json.dumps(
+                ApiResponse.fail("request body must be a JSON object").as_dict()
+            )
+        return json.dumps(self.handle(endpoint, request))
+
+    def endpoints(self) -> List[str]:
+        return sorted(self._routes)
+
+    # ----------------------------------------------------------- handlers
+
+    def _register(self, req: Dict) -> Dict:
+        user = self.platform.register_user(
+            req["network"], req["network_user_id"], req["password"], req["now"]
+        )
+        return {
+            "user_id": user.user_id,
+            "display_name": user.display_name,
+            "linked_networks": user.linked_networks,
+        }
+
+    def _link_network(self, req: Dict) -> Dict:
+        user = self.platform.user_management.link_network(
+            req["user_id"],
+            req["network"],
+            req["network_user_id"],
+            req["password"],
+            req["now"],
+        )
+        return {
+            "user_id": user.user_id,
+            "linked_networks": user.linked_networks,
+        }
+
+    def _search(self, req: Dict) -> Dict:
+        query = SearchQuery(
+            bbox=BoundingBox.from_tuple(req["bbox"]) if req.get("bbox") else None,
+            keywords=tuple(req.get("keywords") or ()),
+            friend_ids=tuple(req.get("friend_ids") or ()),
+            since=req.get("since"),
+            until=req.get("until"),
+            sort_by=req.get("sort_by", "interest"),
+            limit=req.get("limit", 10),
+        )
+        result = self.platform.search(query)
+        return {
+            "personalized": result.personalized,
+            "latency_ms": result.latency_ms,
+            "pois": [
+                {
+                    "poi_id": p.poi_id,
+                    "name": p.name,
+                    "lat": p.lat,
+                    "lon": p.lon,
+                    "score": p.score,
+                    "visit_count": p.visit_count,
+                }
+                for p in result.pois
+            ],
+        }
+
+    def _trending(self, req: Dict) -> Dict:
+        query = TrendingQuery(
+            now=req["now"],
+            window_s=req["window_s"],
+            bbox=BoundingBox.from_tuple(req["bbox"]) if req.get("bbox") else None,
+            friend_ids=tuple(req.get("friend_ids") or ()),
+            limit=req.get("limit", 5),
+        )
+        result = self.platform.trending_events(query)
+        return {
+            "pois": [
+                {"poi_id": p.poi_id, "name": p.name, "score": p.score}
+                for p in result.pois
+            ]
+        }
+
+    def _push_gps(self, req: Dict) -> Dict:
+        points = [
+            GPSPoint(
+                user_id=p["user_id"],
+                lat=p["lat"],
+                lon=p["lon"],
+                timestamp=p["timestamp"],
+            )
+            for p in req["points"]
+        ]
+        stored = self.platform.push_gps(points)
+        return {"stored": stored}
+
+    def _generate_blog(self, req: Dict) -> Dict:
+        blog = self.platform.generate_blog(
+            req["user_id"], req["day_start"], req["day_end"]
+        )
+        return self._blog_to_dict(blog)
+
+    def _get_blogs(self, req: Dict) -> Dict:
+        blogs = self.platform.blogs_repository.for_user(req["user_id"])
+        return {"blogs": [self._blog_to_dict(b) for b in blogs]}
+
+    def _update_blog(self, req: Dict) -> Dict:
+        blog_module = self.platform.blog
+        blog_id = req["blog_id"]
+        if req.get("new_order") is not None:
+            blog = blog_module.reorder_visits(blog_id, req["new_order"])
+        elif req.get("note") is not None:
+            blog = blog_module.annotate_visit(
+                blog_id, req["visit_index"], req["note"]
+            )
+        else:
+            blog = blog_module.edit_visit_times(
+                blog_id, req["visit_index"], req["arrival"], req["departure"]
+            )
+        return self._blog_to_dict(blog)
+
+    def _publish_blog(self, req: Dict) -> Dict:
+        blog = self.platform.blog.publish(
+            req["blog_id"], req["network"], req["now"]
+        )
+        return self._blog_to_dict(blog)
+
+    def attach_metrics(self, metrics) -> None:
+        """Expose a :class:`~repro.core.monitoring.PlatformMetrics`
+        through the ``admin_metrics`` endpoint."""
+        self._metrics = metrics
+
+    def _explain(self, req: Dict) -> Dict:
+        """Per-region execution profile of a personalized query."""
+        query = SearchQuery(
+            bbox=BoundingBox.from_tuple(req["bbox"]) if req.get("bbox") else None,
+            keywords=tuple(req.get("keywords") or ()),
+            friend_ids=tuple(req["friend_ids"]),
+            since=req.get("since"),
+            until=req.get("until"),
+        )
+        return self.platform.query_answering.explain_personalized(query)
+
+    def _admin_describe(self, req: Dict) -> Dict:
+        return self.platform.describe()
+
+    def _admin_metrics(self, req: Dict) -> Dict:
+        if self._metrics is None:
+            return {"counters": {}, "latencies": {}}
+        return self._metrics.snapshot()
+
+    def _friends(self, req: Dict) -> Dict:
+        user_id = req["user_id"]
+        if req.get("network"):
+            friends = self.platform.social_info.get_friends(
+                user_id, req["network"]
+            )
+            payload = {req["network"]: friends}
+        else:
+            payload = self.platform.social_info.get_all_friends(user_id)
+        return {
+            network: [
+                {"id": f.network_user_id, "name": f.name, "picture": f.picture_url}
+                for f in friend_list
+            ]
+            for network, friend_list in payload.items()
+        }
+
+    @staticmethod
+    def _blog_to_dict(blog: BlogEntry) -> Dict:
+        return {
+            "blog_id": blog.blog_id,
+            "user_id": blog.user_id,
+            "day": blog.day,
+            "title": blog.title,
+            "published_to": list(blog.published_to),
+            "visits": [v.as_dict() for v in blog.visits],
+        }

@@ -1,0 +1,35 @@
+"""Processing modules (paper Section 2.2)."""
+
+from .user_management import UserManagementModule, PlatformUser
+from .data_collection import DataCollectionModule
+from .text_processing import TextProcessingModule
+from .event_detection import EventDetectionModule
+from .hotin_update import HotInUpdateModule
+from .query_answering import (
+    QueryAnsweringModule,
+    SearchQuery,
+    SearchResult,
+    ScoredPOI,
+)
+from .trending import TrendingModule, TrendingQuery
+from .trajectory import TrajectoryModule, StayPoint, SemanticTrajectory
+from .blog import BlogModule
+
+__all__ = [
+    "UserManagementModule",
+    "PlatformUser",
+    "DataCollectionModule",
+    "TextProcessingModule",
+    "EventDetectionModule",
+    "HotInUpdateModule",
+    "QueryAnsweringModule",
+    "SearchQuery",
+    "SearchResult",
+    "ScoredPOI",
+    "TrendingModule",
+    "TrendingQuery",
+    "TrajectoryModule",
+    "StayPoint",
+    "SemanticTrajectory",
+    "BlogModule",
+]

@@ -1,0 +1,136 @@
+"""Blog creation, editing and publishing (paper Sections 1, 4).
+
+"The correlation of spatio-temporal information provided by the GPS
+traces with POI related texts automatically produces a daily blog with
+the user's activity.  The produced blog can be manually updated by the
+user and can be shared in Facebook or Twitter."
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, List, Optional
+
+from ...errors import PluginError, ValidationError
+from ...social import SocialNetworkPlugin
+from ..repositories.blogs import BlogEntry, BlogsRepository, BlogVisit
+from .trajectory import SemanticTrajectory, TrajectoryModule
+from .user_management import UserManagementModule
+
+
+class BlogModule:
+    """Semi-automatic blog workflow over semantic trajectories."""
+
+    def __init__(
+        self,
+        trajectory_module: TrajectoryModule,
+        blogs_repository: BlogsRepository,
+        user_management: UserManagementModule,
+        plugins: Dict[str, SocialNetworkPlugin],
+    ) -> None:
+        self.trajectories = trajectory_module
+        self.blogs = blogs_repository
+        self.users = user_management
+        self.plugins = plugins
+
+    # ---------------------------------------------------------- creation
+
+    def generate_daily_blog(
+        self, user_id: int, day_start: int, day_end: int
+    ) -> BlogEntry:
+        """Infer the day's trajectory and persist it as an editable blog."""
+        trajectory = self.trajectories.infer(user_id, day_start, day_end)
+        visits = [
+            BlogVisit(
+                poi_id=stop.poi.poi_id if stop.poi else 0,
+                poi_name=stop.poi.name if stop.poi else "Unknown place",
+                arrival=stop.stay.arrival,
+                departure=stop.stay.departure,
+                note=stop.comment,
+            )
+            for stop in trajectory.stops
+        ]
+        day = _dt.datetime.utcfromtimestamp(day_start).strftime("%Y-%m-%d")
+        return self.blogs.create(user_id=user_id, day=day, visits=visits)
+
+    # ----------------------------------------------------------- editing
+
+    def reorder_visits(self, blog_id: int, new_order: List[int]) -> BlogEntry:
+        """Apply the GUI's drag-reorder: ``new_order`` is a permutation of
+        current visit indexes."""
+        blog = self._get(blog_id)
+        if sorted(new_order) != list(range(len(blog.visits))):
+            raise ValidationError(
+                "new_order must be a permutation of 0..%d" % (len(blog.visits) - 1)
+            )
+        reordered = [blog.visits[i] for i in new_order]
+        self.blogs.update_visits(blog_id, reordered)
+        return self._get(blog_id)
+
+    def edit_visit_times(
+        self, blog_id: int, visit_index: int, arrival: int, departure: int
+    ) -> BlogEntry:
+        """The GUI's arrival/departure editing (paper Figure 5b)."""
+        blog = self._get(blog_id)
+        if not 0 <= visit_index < len(blog.visits):
+            raise ValidationError("no visit at index %r" % visit_index)
+        visits = list(blog.visits)
+        old = visits[visit_index]
+        visits[visit_index] = BlogVisit(
+            poi_id=old.poi_id,
+            poi_name=old.poi_name,
+            arrival=arrival,
+            departure=departure,
+            note=old.note,
+        )
+        self.blogs.update_visits(blog_id, visits)
+        return self._get(blog_id)
+
+    def annotate_visit(
+        self, blog_id: int, visit_index: int, note: str
+    ) -> BlogEntry:
+        blog = self._get(blog_id)
+        if not 0 <= visit_index < len(blog.visits):
+            raise ValidationError("no visit at index %r" % visit_index)
+        visits = list(blog.visits)
+        old = visits[visit_index]
+        visits[visit_index] = BlogVisit(
+            poi_id=old.poi_id,
+            poi_name=old.poi_name,
+            arrival=old.arrival,
+            departure=old.departure,
+            note=note,
+        )
+        self.blogs.update_visits(blog_id, visits)
+        return self._get(blog_id)
+
+    # -------------------------------------------------------- publishing
+
+    def publish(self, blog_id: int, network: str, now: float) -> BlogEntry:
+        """Share the blog on a linked social network."""
+        blog = self._get(blog_id)
+        plugin = self.plugins.get(network)
+        if plugin is None:
+            raise PluginError("no plugin registered for %r" % network)
+        token = self.users.validate_token(blog.user_id, network, now)
+        plugin.publish(token, self.render_text(blog))
+        self.blogs.mark_published(blog_id, network)
+        return self._get(blog_id)
+
+    @staticmethod
+    def render_text(blog: BlogEntry) -> str:
+        """Human-readable rendering used for the social post."""
+        lines = [blog.title]
+        for visit in blog.visits:
+            duration_min = max(0, (visit.departure - visit.arrival) // 60)
+            line = "- %s (%d min)" % (visit.poi_name, duration_min)
+            if visit.note:
+                line += ": %s" % visit.note
+            lines.append(line)
+        return "\n".join(lines)
+
+    def _get(self, blog_id: int) -> BlogEntry:
+        blog = self.blogs.get(blog_id)
+        if blog is None:
+            raise ValidationError("no blog with id %r" % blog_id)
+        return blog

@@ -1,0 +1,169 @@
+"""Data Collection Module (paper Section 2.2).
+
+"Periodically, the Data Collection Module scans in parallel all the
+authorized users of MoDisSENSE; each worker scans a different set of
+users.  For each user and for all connected social networks, it
+downloads all the interesting updates from the user's social profile"
+— check-ins with comments, and status updates.  Collected data is
+classified in-memory and lands in the repositories.
+
+Visits are stored for the user *and their friends* (the Visits
+Repository recommendation path needs friends' histories), keyed by the
+numeric id embedded in the network user id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...errors import PluginError
+from ...social import CheckIn, SocialNetworkPlugin
+from ..repositories.poi import POIRepository
+from ..repositories.social_info import SocialInfoRepository
+from ..repositories.visits import VisitsRepository, VisitStruct
+from .text_processing import TextProcessingModule
+from .user_management import PlatformUser, UserManagementModule
+
+
+#: Pseudo-POI id for texts that are not attached to any place (status
+#: updates); the Text Repository's key needs *some* POI component.
+NO_POI = 0
+
+
+@dataclass
+class CollectionReport:
+    """What one periodic collection run ingested."""
+
+    users_scanned: int = 0
+    networks_scanned: int = 0
+    friends_stored: int = 0
+    checkins_ingested: int = 0
+    comments_classified: int = 0
+    statuses_seen: int = 0
+    statuses_classified: int = 0
+
+
+def numeric_id(network_user_id: str) -> int:
+    """The platform-wide numeric id embedded in a network user id."""
+    digits = "".join(ch for ch in network_user_id if ch.isdigit())
+    if not digits:
+        raise PluginError(
+            "network user ids must embed a numeric id, got %r" % network_user_id
+        )
+    return int(digits)
+
+
+class DataCollectionModule:
+    """The periodic ingest job."""
+
+    def __init__(
+        self,
+        user_management: UserManagementModule,
+        plugins: Dict[str, SocialNetworkPlugin],
+        social_info: SocialInfoRepository,
+        visits: VisitsRepository,
+        text_processing: TextProcessingModule,
+        poi_repository: POIRepository,
+    ) -> None:
+        self.users = user_management
+        self.plugins = plugins
+        self.social_info = social_info
+        self.visits = visits
+        self.text_processing = text_processing
+        self.pois = poi_repository
+        #: Per-(user, network) collection high-water marks.
+        self._collected_until: Dict[tuple, int] = {}
+
+    # --------------------------------------------------------------- run
+
+    def run(self, now: int) -> CollectionReport:
+        """Scan every authorized user; ingest updates since the last run."""
+        report = CollectionReport()
+        for user in self.users.all_users():
+            report.users_scanned += 1
+            for network in user.linked_networks:
+                self._collect_user_network(user, network, now, report)
+        return report
+
+    def _collect_user_network(
+        self, user: PlatformUser, network: str, now: int, report: CollectionReport
+    ) -> None:
+        plugin = self.plugins[network]
+        token = self.users.validate_token(user.user_id, network, float(now))
+        report.networks_scanned += 1
+
+        # Friends list -> Social Info Repository (compressed).
+        friends = plugin.get_friends(token)
+        self.social_info.store_friends(user.user_id, network, friends, now)
+        report.friends_stored += len(friends)
+
+        since = self._collected_until.get((user.user_id, network), 0)
+        watched = [token.network_user_id] + [f.network_user_id for f in friends]
+        for watched_id in watched:
+            checkins = plugin.get_checkins(token, watched_id, since, now)
+            for checkin in checkins:
+                self._ingest_checkin(checkin, report)
+            statuses = plugin.get_status_updates(token, watched_id, since, now)
+            report.statuses_seen += len(statuses)
+            for status in statuses:
+                self._ingest_status(status, report)
+        self._collected_until[(user.user_id, network)] = now
+
+    def _ingest_status(self, status, report: CollectionReport) -> None:
+        """Classify a plain status update and keep it in the Text
+        Repository (keyed to the :data:`NO_POI` pseudo-place): status
+        text carries opinion signal the paper's "interesting updates"
+        include even without a check-in."""
+        if not status.text.strip():
+            return
+        self.text_processing.process_comment(
+            user_id=numeric_id(status.network_user_id),
+            poi_id=NO_POI,
+            timestamp=status.timestamp,
+            text=status.text,
+        )
+        report.statuses_classified += 1
+
+    # ------------------------------------------------------------ ingest
+
+    def _ingest_checkin(self, checkin: CheckIn, report: CollectionReport) -> None:
+        visitor_id = numeric_id(checkin.network_user_id)
+
+        # Classify the accompanying comment; its score is the grade.
+        record = self.text_processing.process_comment(
+            user_id=visitor_id,
+            poi_id=checkin.poi_id,
+            timestamp=checkin.timestamp,
+            text=checkin.comment,
+        )
+        report.comments_classified += 1
+
+        poi = self.pois.get(checkin.poi_id)
+        if poi is not None:
+            visit = VisitStruct(
+                user_id=visitor_id,
+                poi_id=poi.poi_id,
+                timestamp=checkin.timestamp,
+                grade=record.sentiment,
+                poi_name=poi.name,
+                lat=poi.lat,
+                lon=poi.lon,
+                keywords=poi.keywords,
+                hotness=poi.hotness,
+                interest=poi.interest,
+            )
+        else:
+            # Check-in at a place the platform does not know yet: keep
+            # the visit with coordinates only; Event Detection may later
+            # register the POI.
+            visit = VisitStruct(
+                user_id=visitor_id,
+                poi_id=checkin.poi_id,
+                timestamp=checkin.timestamp,
+                grade=record.sentiment,
+                lat=checkin.lat,
+                lon=checkin.lon,
+            )
+        self.visits.store(visit)
+        report.checkins_ingested += 1

@@ -1,0 +1,93 @@
+"""HotIn Update Module (paper Section 2.2).
+
+"Hotness and interest are inferred by an aggregation over all visits
+persisted in Visits Repository within a configurable time frame T.  In
+order to aggregate hotness and interest, a MapReduce job configured with
+a scanner over all visits in T, is instantiated."
+
+- **hotness** = number of visits to the POI in T (crowd concentration);
+- **interest** = mean sentiment grade of those visits (friend opinion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ...mapreduce import JobRunner, MapReduceJob
+from ..repositories.poi import POIRepository
+from ..repositories.visits import VisitsRepository
+
+
+@dataclass
+class HotInReport:
+    """What one periodic run did."""
+
+    window: Tuple[int, int]
+    visits_scanned: int
+    pois_updated: int
+    pois_unknown: int
+
+
+class HotInUpdateModule:
+    """The periodic hotness/interest aggregation job."""
+
+    def __init__(
+        self,
+        visits_repository: VisitsRepository,
+        poi_repository: POIRepository,
+        runner: Optional[JobRunner] = None,
+        num_mappers: int = 8,
+    ) -> None:
+        self.visits = visits_repository
+        self.pois = poi_repository
+        self.num_mappers = num_mappers
+        self._runner = runner
+
+    def run(self, since: int, until: int) -> HotInReport:
+        """Aggregate over visits in ``[since, until)`` and write back."""
+        records = list(self.visits.all_visits(since, until))
+
+        def mapper(visit, emit, counters):
+            emit(visit.poi_id, (1, visit.grade))
+
+        def combiner(poi_id, values, emit, counters):
+            count = sum(v[0] for v in values)
+            grade_sum = sum(v[1] for v in values)
+            emit(poi_id, (count, grade_sum))
+
+        def reducer(poi_id, values, emit, counters):
+            count = sum(v[0] for v in values)
+            grade_sum = sum(v[1] for v in values)
+            emit(poi_id, (count, grade_sum / count if count else 0.0))
+
+        job = MapReduceJob(
+            name="hotin-update",
+            mapper=mapper,
+            combiner=combiner,
+            reducer=reducer,
+            num_mappers=self.num_mappers,
+            num_reducers=max(2, self.num_mappers // 2),
+        )
+        runner = self._runner or JobRunner(max_workers=self.num_mappers)
+        try:
+            result = runner.run(job, records)
+        finally:
+            if self._runner is None:
+                runner.shutdown()
+
+        updated = 0
+        unknown = 0
+        for poi_id, (count, mean_grade) in result.pairs:
+            if self.pois.update_hotin(
+                poi_id, hotness=float(count), interest=mean_grade
+            ):
+                updated += 1
+            else:
+                unknown += 1
+        return HotInReport(
+            window=(since, until),
+            visits_scanned=len(records),
+            pois_updated=updated,
+            pois_unknown=unknown,
+        )

@@ -1,0 +1,392 @@
+"""Query Answering Module — the paper's core query path (Section 2.2).
+
+Non-personalized queries (no friend list) become SQL selects against the
+POI repository.  Personalized queries fan out to HBase coprocessors:
+each region-local endpoint scans the visits of the friends whose salted
+keys it owns, filters by the user's criteria, aggregates per POI, sorts,
+and returns its partial top list; the web-server tier merges partials
+into the final answer — exactly the mechanism behind Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import QueryError
+from ...geo import BoundingBox
+from ...hbase import Coprocessor, CoprocessorContext
+from ..repositories.poi import POIRepository
+from ..repositories.visits import (
+    FAMILY,
+    SCHEMA_NORMALIZED,
+    VisitsRepository,
+)
+
+SORT_INTEREST = "interest"
+SORT_HOTNESS = "hotness"
+
+
+@dataclass
+class SearchQuery:
+    """A search request (paper Section 2.2's parameter list).
+
+    ``friend_ids`` non-empty makes the query personalized.
+    """
+
+    bbox: Optional[BoundingBox] = None
+    keywords: Tuple = ()
+    friend_ids: Tuple = ()
+    since: Optional[int] = None
+    until: Optional[int] = None
+    sort_by: str = SORT_INTEREST
+    limit: int = 10
+
+    def __post_init__(self) -> None:
+        if self.sort_by not in (SORT_INTEREST, SORT_HOTNESS):
+            raise QueryError(
+                "sort_by must be %r or %r" % (SORT_INTEREST, SORT_HOTNESS)
+            )
+        if self.limit < 1:
+            raise QueryError("limit must be >= 1")
+        self.keywords = tuple(k.lower() for k in self.keywords)
+        self.friend_ids = tuple(self.friend_ids)
+
+    @property
+    def personalized(self) -> bool:
+        return bool(self.friend_ids)
+
+
+@dataclass(frozen=True)
+class ScoredPOI:
+    """One result row."""
+
+    poi_id: int
+    name: str
+    lat: float
+    lon: float
+    score: float
+    visit_count: int
+
+
+@dataclass
+class SearchResult:
+    """Result rows plus execution metadata for the benchmarks."""
+
+    pois: List[ScoredPOI]
+    personalized: bool
+    #: Simulated end-to-end latency (coprocessor path only).
+    latency_ms: float = 0.0
+    records_scanned: int = 0
+    regions_used: int = 0
+
+
+@dataclass(frozen=True)
+class _VisitScanRequest:
+    """What the coprocessor endpoint receives, per query.
+
+    ``per_region_limit`` of 0 ships every per-POI aggregate the region
+    produced (the default: per-POI aggregates are already tiny compared
+    with raw visits, and shipping them all keeps global top-k *exact*
+    under mean-based ranking).  A positive limit truncates the sorted
+    partial list, trading exactness for transfer size.
+    """
+
+    friend_ids: Tuple
+    bbox: Optional[Tuple]  # (min_lat, min_lon, max_lat, max_lon)
+    keywords: Tuple
+    since: Optional[int]
+    until: Optional[int]
+    per_region_limit: int = 0
+
+
+class VisitScanCoprocessor(Coprocessor):
+    """Region-local personalized aggregation.
+
+    Per the paper: "each coprocessor operates into a specific HBase
+    region, eliminates the visits that do not satisfy the user defined
+    criteria, aggregates multiple visits referring to the same POI and
+    sorts the candidate POIs according to the aggregated scores."
+    """
+
+    name = "visit-scan"
+
+    def run(self, context: CoprocessorContext, request: _VisitScanRequest):
+        bbox = (
+            BoundingBox.from_tuple(request.bbox)
+            if request.bbox is not None
+            else None
+        )
+        wanted = set(request.keywords)
+        # poi_id -> [grade_sum, count, name, lat, lon]
+        aggregates: Dict[int, list] = {}
+
+        for friend_id in request.friend_ids:
+            prefix = VisitsRepository.user_prefix(friend_id)
+            if not context.contains_row(prefix + b"\x00"):
+                # Another region owns this friend's salted key range.
+                continue
+            start, stop = VisitsRepository.time_range_keys(
+                friend_id, request.since, request.until
+            )
+            for cell in context.scan(FAMILY, start, stop):
+                visit = VisitsRepository.decode_cell(cell)
+                if bbox is not None and not bbox.contains_coords(
+                    visit.lat, visit.lon
+                ):
+                    continue
+                if wanted and not (wanted & {k.lower() for k in visit.keywords}):
+                    continue
+                entry = aggregates.get(visit.poi_id)
+                if entry is None:
+                    aggregates[visit.poi_id] = [
+                        visit.grade,
+                        1,
+                        visit.poi_name,
+                        visit.lat,
+                        visit.lon,
+                    ]
+                else:
+                    entry[0] += visit.grade
+                    entry[1] += 1
+
+        partial = [
+            (poi_id, entry[0], entry[1], entry[2], entry[3], entry[4])
+            for poi_id, entry in aggregates.items()
+        ]
+        # Region-local sort by aggregated grade; optionally truncate.
+        partial.sort(key=lambda item: item[1], reverse=True)
+        if request.per_region_limit > 0:
+            return partial[: request.per_region_limit]
+        return partial
+
+    # merge() default (list concatenation) is right: the web-server tier
+    # does the cross-region aggregation in QueryAnsweringModule.
+
+
+class QueryAnsweringModule:
+    """Routes queries to the SQL path or the coprocessor path."""
+
+    def __init__(
+        self,
+        poi_repository: POIRepository,
+        visits_repository: VisitsRepository,
+    ) -> None:
+        self.pois = poi_repository
+        self.visits = visits_repository
+        self._coprocessor = VisitScanCoprocessor()
+
+    # -------------------------------------------------------- public API
+
+    def search(self, query: SearchQuery) -> SearchResult:
+        """Answer one query."""
+        if query.personalized:
+            return self.search_personalized_batch([query])[0]
+        return self._search_sql(query)
+
+    def search_personalized_batch(
+        self, queries: Sequence[SearchQuery]
+    ) -> List[SearchResult]:
+        """Answer several personalized queries *concurrently*.
+
+        All queries' coprocessor tasks share the simulated cluster, so
+        their latencies include contention — Figure 3's setup.
+        """
+        requests = []
+        for query in queries:
+            if not query.personalized:
+                raise QueryError("batch path requires personalized queries")
+            requests.append(
+                _VisitScanRequest(
+                    friend_ids=query.friend_ids,
+                    bbox=query.bbox.as_tuple() if query.bbox else None,
+                    keywords=query.keywords,
+                    since=query.since,
+                    until=query.until,
+                )
+            )
+        calls = self.visits.cluster.coprocessor_exec_many(
+            self.visits.table.name, self._coprocessor, requests
+        )
+        results = []
+        for query, call in zip(queries, calls):
+            results.append(self._merge_partials(query, call))
+        return results
+
+    def explain_personalized(self, query: SearchQuery) -> Dict:
+        """EXPLAIN for the coprocessor path: per-region work breakdown.
+
+        Executes the query and returns, per region, the records scanned,
+        partial results shipped and the node serving it, plus the
+        simulated end-to-end latency — the profile an operator needs to
+        spot hot regions or bad salt distribution.
+        """
+        if not query.personalized:
+            raise QueryError("explain_personalized needs a personalized query")
+        request = _VisitScanRequest(
+            friend_ids=query.friend_ids,
+            bbox=query.bbox.as_tuple() if query.bbox else None,
+            keywords=query.keywords,
+            since=query.since,
+            until=query.until,
+        )
+        cluster = self.visits.cluster
+        call = cluster.coprocessor_exec(
+            self.visits.table.name, self._coprocessor, request
+        )
+        placement = cluster.simulation.region_placement
+        regions = [
+            {
+                "region_id": region_id,
+                "node": placement.get(region_id),
+                "records_scanned": records,
+                "results_returned": call.per_region_results.get(region_id, 0),
+            }
+            for region_id, records in sorted(call.per_region_records.items())
+        ]
+        records = [r["records_scanned"] for r in regions]
+        return {
+            "friends": len(query.friend_ids),
+            "regions": regions,
+            "latency_ms": call.latency_ms,
+            "records_total": sum(records),
+            "records_max_region": max(records) if records else 0,
+            "skew": (
+                max(records) / (sum(records) / len(records))
+                if records and sum(records) else 0.0
+            ),
+        }
+
+    # ---------------------------------------------------------- internals
+
+    def _merge_partials(self, query: SearchQuery, call) -> SearchResult:
+        merged: Dict[int, list] = {}
+        for poi_id, grade_sum, count, name, lat, lon in call.result:
+            entry = merged.get(poi_id)
+            if entry is None:
+                merged[poi_id] = [grade_sum, count, name, lat, lon]
+            else:
+                entry[0] += grade_sum
+                entry[1] += count
+
+        scored = []
+        for poi_id, (grade_sum, count, name, lat, lon) in merged.items():
+            if query.sort_by == SORT_INTEREST:
+                score = grade_sum / count  # mean friend opinion
+            else:
+                score = float(count)  # crowd concentration
+            scored.append(
+                ScoredPOI(
+                    poi_id=poi_id,
+                    name=name,
+                    lat=lat,
+                    lon=lon,
+                    score=score,
+                    visit_count=count,
+                )
+            )
+        scored.sort(key=lambda p: (-p.score, -p.visit_count, p.poi_id))
+        return SearchResult(
+            pois=scored[: query.limit],
+            personalized=True,
+            latency_ms=call.latency_ms,
+            records_scanned=call.records_scanned,
+            regions_used=len(call.per_region_records),
+        )
+
+    def _search_sql(self, query: SearchQuery) -> SearchResult:
+        pois = self.pois.search(
+            bbox=query.bbox,
+            keywords=query.keywords or None,
+            sort_by=query.sort_by,
+            limit=query.limit,
+        )
+        rows = [
+            ScoredPOI(
+                poi_id=p.poi_id,
+                name=p.name,
+                lat=p.lat,
+                lon=p.lon,
+                score=p.interest if query.sort_by == SORT_INTEREST else p.hotness,
+                visit_count=0,
+            )
+            for p in pois
+        ]
+        return SearchResult(pois=rows, personalized=False)
+
+    # ------------------------------------------------- ablation baseline
+
+    def search_personalized_client_side(self, query: SearchQuery) -> SearchResult:
+        """The no-coprocessor baseline: the web server pulls every
+        friend's visits over the (simulated) wire and aggregates locally.
+
+        Scans the same data but all records cross the network and the
+        aggregation runs on one machine — the strategy the coprocessor
+        design replaces.  Used by ``bench_ablation_coprocessors``.
+        """
+        if not query.personalized:
+            raise QueryError("client-side path requires a personalized query")
+        merged: Dict[int, list] = {}
+        records = 0
+        normalized = self.visits.schema_mode == SCHEMA_NORMALIZED
+        for friend_id in query.friend_ids:
+            for visit in self.visits.visits_of_user(
+                friend_id, query.since, query.until
+            ):
+                records += 1
+                if normalized:
+                    poi = self.pois.get(visit.poi_id)
+                    if poi is None:
+                        continue
+                    lat, lon, name = poi.lat, poi.lon, poi.name
+                    keywords = poi.keywords
+                else:
+                    lat, lon, name = visit.lat, visit.lon, visit.poi_name
+                    keywords = visit.keywords
+                if query.bbox is not None and not query.bbox.contains_coords(
+                    lat, lon
+                ):
+                    continue
+                if query.keywords and not (
+                    set(query.keywords) & {k.lower() for k in keywords}
+                ):
+                    continue
+                entry = merged.get(visit.poi_id)
+                if entry is None:
+                    merged[visit.poi_id] = [visit.grade, 1, name, lat, lon]
+                else:
+                    entry[0] += visit.grade
+                    entry[1] += 1
+
+        cm = self.visits.cluster.simulation.cost_model
+        # Single-core aggregation + every record over the wire.
+        latency_s = (
+            cm.rpc_latency_s * 2
+            + records * cm.cost_per_record_s
+            + records * cm.merge_cost_per_item_s * 4
+        )
+        scored = []
+        for poi_id, (grade_sum, count, name, lat, lon) in merged.items():
+            score = (
+                grade_sum / count
+                if query.sort_by == SORT_INTEREST
+                else float(count)
+            )
+            scored.append(
+                ScoredPOI(
+                    poi_id=poi_id,
+                    name=name,
+                    lat=lat,
+                    lon=lon,
+                    score=score,
+                    visit_count=count,
+                )
+            )
+        scored.sort(key=lambda p: (-p.score, -p.visit_count, p.poi_id))
+        return SearchResult(
+            pois=scored[: query.limit],
+            personalized=True,
+            latency_ms=latency_s * 1e3,
+            records_scanned=records,
+            regions_used=0,
+        )

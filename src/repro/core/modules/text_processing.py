@@ -1,0 +1,66 @@
+"""Text Processing Module (paper Section 2.2).
+
+"Performs sentiment analysis to all textual information the platform
+collects through the Data Collection Module.  Comments from check-ins
+and POI reviews are classified, real-time and in-memory, as positive or
+negative.  The score which results from the sentiment analysis is
+persisted to the datastore along with the text itself."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ...config import SentimentConfig
+from ...errors import NotTrainedError
+from ...text import SentimentPipeline, TrainingReport
+from ..repositories.text_repo import CommentRecord, TextRepository
+
+
+class TextProcessingModule:
+    """Classifies comments and persists (text, score) pairs."""
+
+    def __init__(
+        self,
+        text_repository: TextRepository,
+        config: Optional[SentimentConfig] = None,
+    ) -> None:
+        self.texts = text_repository
+        self.pipeline = SentimentPipeline(config or SentimentConfig.optimized())
+
+    def train(
+        self, labeled_documents: Sequence[Tuple[str, int]]
+    ) -> TrainingReport:
+        """Train the classifier on a Tripadvisor-style corpus."""
+        return self.pipeline.train(labeled_documents)
+
+    @property
+    def is_trained(self) -> bool:
+        return self.pipeline.classifier.is_trained
+
+    def score(self, text: str) -> float:
+        """P(positive) for one comment — the visit grade's source."""
+        return self.pipeline.score(text)
+
+    def process_comment(
+        self, user_id: int, poi_id: int, timestamp: int, text: str
+    ) -> CommentRecord:
+        """Classify and persist one comment; returns what was stored.
+
+        Empty comments get a neutral 0.5 — a check-in without text
+        carries no opinion either way.
+        """
+        if not self.is_trained:
+            raise NotTrainedError(
+                "Text Processing Module used before classifier training"
+            )
+        sentiment = self.score(text) if text.strip() else 0.5
+        record = CommentRecord(
+            user_id=user_id,
+            poi_id=poi_id,
+            timestamp=timestamp,
+            text=text,
+            sentiment=sentiment,
+        )
+        self.texts.store(record)
+        return record

@@ -1,0 +1,69 @@
+"""Trending-events queries (paper Sections 1–2).
+
+"MoDisSENSE can resolve the query: show me the three hottest places in
+Melbourne visited by my x specific Foursquare friends the last y hours"
+— a personalized trending query with configurable time granularity.
+The non-personalized variant ("five hottest places in town yesterday
+night") ranks by global crowd concentration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ...errors import QueryError
+from ...geo import BoundingBox
+from .query_answering import (
+    QueryAnsweringModule,
+    ScoredPOI,
+    SearchQuery,
+    SearchResult,
+    SORT_HOTNESS,
+)
+
+
+@dataclass
+class TrendingQuery:
+    """"k hottest places in bbox over the last ``window_s`` seconds"."""
+
+    now: int
+    window_s: int
+    bbox: Optional[BoundingBox] = None
+    friend_ids: Tuple = ()
+    limit: int = 5
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise QueryError("window_s must be positive")
+        if self.limit < 1:
+            raise QueryError("limit must be >= 1")
+        self.friend_ids = tuple(self.friend_ids)
+
+    @property
+    def since(self) -> int:
+        return self.now - self.window_s
+
+
+class TrendingModule:
+    """Trending queries are hotness-sorted searches over a time window."""
+
+    def __init__(self, query_answering: QueryAnsweringModule) -> None:
+        self._qa = query_answering
+
+    def trending(self, query: TrendingQuery) -> SearchResult:
+        """Top-k POIs by visit concentration in the window.
+
+        With friends given, the concentration is measured over *their*
+        visits via the coprocessor path; otherwise over the global
+        hotness metric maintained by the HotIn job.
+        """
+        search = SearchQuery(
+            bbox=query.bbox,
+            friend_ids=query.friend_ids,
+            since=query.since,
+            until=query.now,
+            sort_by=SORT_HOTNESS,
+            limit=query.limit,
+        )
+        return self._qa.search(search)

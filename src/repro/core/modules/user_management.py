@@ -1,0 +1,142 @@
+"""User Management Module (paper Section 2.2).
+
+"MoDisSENSE does not require a username or password.  The signing-in
+process is carried out only with the use of the social network
+credentials.  The registration workflow follows the OAuth protocol ...
+Being an authorized member of the platform, the user can connect to the
+MoDisSENSE account more social networks."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...errors import AuthenticationError, PluginError, ValidationError
+from ...social import AccessToken, SocialNetworkPlugin
+
+
+@dataclass
+class PlatformUser:
+    """A registered MoDisSENSE account.
+
+    ``tokens`` maps network name -> the live access token; a network is
+    "linked" while a token for it is held.
+    """
+
+    user_id: int
+    display_name: str
+    tokens: Dict[str, AccessToken] = field(default_factory=dict)
+
+    @property
+    def linked_networks(self) -> List[str]:
+        return sorted(self.tokens)
+
+    def network_id(self, network: str) -> str:
+        try:
+            return self.tokens[network].network_user_id
+        except KeyError:
+            raise PluginError(
+                "user %d has not linked %r" % (self.user_id, network)
+            ) from None
+
+
+class UserManagementModule:
+    """Registration, login and network linking via OAuth."""
+
+    def __init__(self, plugins: Dict[str, SocialNetworkPlugin]) -> None:
+        self._plugins = plugins
+        self._users: Dict[int, PlatformUser] = {}
+        self._by_network_id: Dict[tuple, int] = {}
+        self._next_id = 1
+
+    def _plugin(self, network: str) -> SocialNetworkPlugin:
+        try:
+            return self._plugins[network]
+        except KeyError:
+            raise PluginError("no plugin registered for %r" % network) from None
+
+    # ---------------------------------------------------------- register
+
+    def register(
+        self, network: str, network_user_id: str, password: str, now: float
+    ) -> PlatformUser:
+        """Sign up (or back in) with social credentials.
+
+        If the (network, id) pair is already bound to an account, this
+        is a login: the token is refreshed on the existing user.
+        """
+        plugin = self._plugin(network)
+        oauth = getattr(plugin, "oauth", None)
+        if oauth is None:
+            raise PluginError("plugin %r has no OAuth provider" % network)
+        token = oauth.authorize(network_user_id, password, now)
+
+        key = (network, network_user_id)
+        existing_id = self._by_network_id.get(key)
+        if existing_id is not None:
+            user = self._users[existing_id]
+            user.tokens[network] = token
+            return user
+
+        profile = plugin.get_profile(token)
+        user = PlatformUser(
+            user_id=self._next_id,
+            display_name=profile.name,
+            tokens={network: token},
+        )
+        self._next_id += 1
+        self._users[user.user_id] = user
+        self._by_network_id[key] = user.user_id
+        return user
+
+    def link_network(
+        self,
+        user_id: int,
+        network: str,
+        network_user_id: str,
+        password: str,
+        now: float,
+    ) -> PlatformUser:
+        """Connect an additional social network to an existing account."""
+        user = self.get(user_id)
+        key = (network, network_user_id)
+        bound = self._by_network_id.get(key)
+        if bound is not None and bound != user_id:
+            raise AuthenticationError(
+                "%s account %r is already linked to another user"
+                % (network, network_user_id)
+            )
+        plugin = self._plugin(network)
+        token = plugin.oauth.authorize(network_user_id, password, now)
+        user.tokens[network] = token
+        self._by_network_id[key] = user_id
+        return user
+
+    def unlink_network(self, user_id: int, network: str) -> None:
+        user = self.get(user_id)
+        token = user.tokens.pop(network, None)
+        if token is not None:
+            self._plugin(network).oauth.revoke(token.token)
+            self._by_network_id.pop((network, token.network_user_id), None)
+
+    # ------------------------------------------------------------- reads
+
+    def get(self, user_id: int) -> PlatformUser:
+        try:
+            return self._users[user_id]
+        except KeyError:
+            raise ValidationError("no platform user %r" % user_id) from None
+
+    def all_users(self) -> List[PlatformUser]:
+        return [self._users[uid] for uid in sorted(self._users)]
+
+    def validate_token(self, user_id: int, network: str, now: float) -> AccessToken:
+        """Check the stored token is still valid with the network."""
+        user = self.get(user_id)
+        token = user.tokens.get(network)
+        if token is None:
+            raise AuthenticationError(
+                "user %d has not linked %r" % (user_id, network)
+            )
+        return self._plugin(network).oauth.validate(token.token, now)

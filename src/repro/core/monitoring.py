@@ -1,0 +1,156 @@
+"""Platform observability: counters and latency histograms.
+
+A production deployment of the paper's architecture needs to see query
+volume, per-path latencies and batch-job progress; this module provides
+the metrics surface, and :class:`InstrumentedQueryAnswering` wraps the
+query module so every search is recorded transparently.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ValidationError
+
+
+class LatencyHistogram:
+    """Latency samples with percentile queries.
+
+    Memory is bounded by reservoir sampling (Vitter's algorithm R, with
+    a fixed seed for reproducibility): every recorded value has equal
+    probability of residing in the reservoir, so percentile reads stay
+    unbiased even when traffic trends over time.
+    """
+
+    def __init__(self, max_samples: int = 10_000) -> None:
+        if max_samples < 10:
+            raise ValidationError("max_samples must be >= 10")
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = []
+        self._max = max_samples
+        self._rng = _random.Random(0xC0FFEE)
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def record(self, value_ms: float) -> None:
+        if value_ms < 0:
+            raise ValidationError("latency cannot be negative")
+        self.count += 1
+        self.total += value_ms
+        self.max_value = max(self.max_value, value_ms)
+        if len(self._samples) < self._max:
+            self._samples.append(value_ms)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._max:
+                self._samples[slot] = value_ms
+        self._sorted = None  # invalidate the percentile cache
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0 < p <= 100) of recorded samples."""
+        if not 0.0 < p <= 100.0:
+            raise ValidationError("percentile must be in (0, 100]")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        idx = min(
+            len(self._sorted) - 1,
+            max(0, int(round(p / 100.0 * len(self._sorted))) - 1),
+        )
+        return self._sorted[idx]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean,
+            "p50_ms": self.percentile(50),
+            "p95_ms": self.percentile(95),
+            "p99_ms": self.percentile(99),
+            "max_ms": self.max_value,
+        }
+
+
+class PlatformMetrics:
+    """Counters + histograms for every platform surface."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = LatencyHistogram()
+        return hist
+
+    def record_latency(self, name: str, value_ms: float) -> None:
+        self.histogram(name).record(value_ms)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything, JSON-shaped, for a dashboard or the REST API."""
+        return {
+            "counters": dict(self._counters),
+            "latencies": {
+                name: hist.summary()
+                for name, hist in self._histograms.items()
+            },
+        }
+
+
+class InstrumentedQueryAnswering:
+    """Transparent metrics wrapper around a QueryAnsweringModule.
+
+    Same interface as the wrapped module; every search increments the
+    path counter and records the simulated latency (coprocessor path)
+    so ``metrics.snapshot()`` exposes the Figure-2-style distribution
+    of live traffic.
+    """
+
+    def __init__(self, inner, metrics: Optional[PlatformMetrics] = None) -> None:
+        self._inner = inner
+        self.metrics = metrics or PlatformMetrics()
+
+    def search(self, query):
+        result = self._inner.search(query)
+        if result.personalized:
+            self.metrics.increment("queries.personalized")
+            self.metrics.record_latency(
+                "query.personalized", result.latency_ms
+            )
+            self.metrics.increment(
+                "records.scanned", result.records_scanned
+            )
+        else:
+            self.metrics.increment("queries.non_personalized")
+        return result
+
+    def search_personalized_batch(self, queries):
+        results = self._inner.search_personalized_batch(queries)
+        for result in results:
+            self.metrics.increment("queries.personalized")
+            self.metrics.record_latency(
+                "query.personalized", result.latency_ms
+            )
+            self.metrics.increment("records.scanned", result.records_scanned)
+        return results
+
+    def search_personalized_client_side(self, query):
+        return self._inner.search_personalized_client_side(query)
+
+    def __getattr__(self, name):
+        # Delegate everything else (pois, visits, _coprocessor, ...).
+        return getattr(self._inner, name)

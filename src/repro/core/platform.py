@@ -1,0 +1,227 @@
+"""The MoDisSENSE platform facade.
+
+Wires every repository and processing module over the simulated cluster,
+exactly as Figure 1 of the paper composes them.  This is the object the
+examples, the REST layer and the benchmarks instantiate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import PlatformConfig
+from ..datagen.gps import GPSPoint
+from ..hbase import HBaseCluster
+from ..mapreduce import JobRunner
+from ..social import (
+    NETWORK_FACEBOOK,
+    NETWORK_FOURSQUARE,
+    NETWORK_TWITTER,
+    SimulatedNetwork,
+    SocialNetworkPlugin,
+)
+from ..sqlstore import SqlEngine
+from .modules.blog import BlogModule
+from .modules.data_collection import DataCollectionModule
+from .modules.event_detection import EventDetectionModule
+from .modules.hotin_update import HotInReport, HotInUpdateModule
+from .modules.query_answering import (
+    QueryAnsweringModule,
+    SearchQuery,
+    SearchResult,
+)
+from .modules.text_processing import TextProcessingModule
+from .modules.trajectory import TrajectoryModule
+from .modules.trending import TrendingModule, TrendingQuery
+from .modules.user_management import PlatformUser, UserManagementModule
+from .repositories.blogs import BlogEntry, BlogsRepository
+from .repositories.gps_traces import GPSTracesRepository
+from .repositories.poi import POI, POIRepository
+from .repositories.social_info import SocialInfoRepository
+from .repositories.text_repo import TextRepository
+from .repositories.visits import VisitsRepository
+
+
+class MoDisSENSE:
+    """One platform deployment.
+
+    Parameters
+    ----------
+    config:
+        Cluster shape, sentiment knobs and job periods.
+    plugins:
+        Social-network integrations; defaults to simulated Facebook,
+        Twitter and Foursquare, matching the paper's supported networks.
+    visits_schema_mode:
+        ``"replicated"`` (paper default) or ``"normalized"`` for the
+        schema ablation.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PlatformConfig] = None,
+        plugins: Optional[Dict[str, SocialNetworkPlugin]] = None,
+        visits_schema_mode: str = "replicated",
+    ) -> None:
+        self.config = config or PlatformConfig()
+
+        # ---- storage tier
+        self.hbase = HBaseCluster(self.config.cluster)
+        self.sql = SqlEngine()
+        regions = self.config.cluster.regions_per_table
+        self.poi_repository = POIRepository(self.sql)
+        self.social_info = SocialInfoRepository(
+            self.hbase, num_regions=max(2, regions // 8)
+        )
+        self.text_repository = TextRepository(
+            self.hbase, num_regions=max(2, regions // 4)
+        )
+        self.visits_repository = VisitsRepository(
+            self.hbase, num_regions=regions, schema_mode=visits_schema_mode
+        )
+        self.gps_repository = GPSTracesRepository(
+            self.hbase, num_regions=max(2, regions // 2)
+        )
+        self.blogs_repository = BlogsRepository(self.sql)
+
+        # ---- social tier
+        self.plugins: Dict[str, SocialNetworkPlugin] = plugins or {
+            NETWORK_FACEBOOK: SimulatedNetwork(NETWORK_FACEBOOK),
+            NETWORK_TWITTER: SimulatedNetwork(NETWORK_TWITTER),
+            NETWORK_FOURSQUARE: SimulatedNetwork(NETWORK_FOURSQUARE),
+        }
+
+        # ---- processing tier
+        self.job_runner = JobRunner(max_workers=self.config.cluster.total_cores)
+        self.user_management = UserManagementModule(self.plugins)
+        self.text_processing = TextProcessingModule(
+            self.text_repository, self.config.sentiment
+        )
+        self.data_collection = DataCollectionModule(
+            user_management=self.user_management,
+            plugins=self.plugins,
+            social_info=self.social_info,
+            visits=self.visits_repository,
+            text_processing=self.text_processing,
+            poi_repository=self.poi_repository,
+        )
+        self.query_answering = QueryAnsweringModule(
+            self.poi_repository, self.visits_repository
+        )
+        self.trending = TrendingModule(self.query_answering)
+        self.hotin_update = HotInUpdateModule(
+            self.visits_repository,
+            self.poi_repository,
+            runner=self.job_runner,
+            num_mappers=self.config.cluster.total_cores,
+        )
+        self.event_detection = EventDetectionModule(
+            self.gps_repository, self.poi_repository, self.config.jobs
+        )
+        self.trajectory = TrajectoryModule(
+            self.gps_repository,
+            self.poi_repository,
+            self.text_repository,
+            self.config.jobs,
+        )
+        self.blog = BlogModule(
+            trajectory_module=self.trajectory,
+            blogs_repository=self.blogs_repository,
+            user_management=self.user_management,
+            plugins=self.plugins,
+        )
+
+    # ----------------------------------------------------- conveniences
+
+    def register_user(
+        self, network: str, network_user_id: str, password: str, now: float
+    ) -> PlatformUser:
+        """Sign a user up with social credentials (OAuth flow)."""
+        return self.user_management.register(
+            network, network_user_id, password, now
+        )
+
+    def search(self, query: SearchQuery) -> SearchResult:
+        """Answer a (personalized or not) POI search."""
+        return self.query_answering.search(query)
+
+    def trending_events(self, query: TrendingQuery) -> SearchResult:
+        return self.trending.trending(query)
+
+    def collect(self, now: int):
+        """Run the Data Collection Module once."""
+        return self.data_collection.run(now)
+
+    def run_hotin(self, since: int, until: int) -> HotInReport:
+        """Run the HotIn Update job over ``[since, until)``."""
+        return self.hotin_update.run(since, until)
+
+    def detect_events(self, since: Optional[int] = None, until: Optional[int] = None):
+        """Run the Event Detection Module once."""
+        return self.event_detection.run(since, until)
+
+    def push_gps(self, points: Sequence[GPSPoint]) -> int:
+        """Ingest GPS trace samples from a device."""
+        return self.gps_repository.push_many(points)
+
+    def generate_blog(self, user_id: int, day_start: int, day_end: int) -> BlogEntry:
+        return self.blog.generate_daily_blog(user_id, day_start, day_end)
+
+    def load_pois(self, pois) -> int:
+        """Bulk-load POIs (e.g. the synthetic OpenStreetMap extract)."""
+        count = 0
+        for record in pois:
+            self.poi_repository.add(
+                POI(
+                    poi_id=record.poi_id,
+                    name=record.name,
+                    lat=record.lat,
+                    lon=record.lon,
+                    keywords=tuple(record.keywords),
+                    category=record.category,
+                )
+            )
+            count += 1
+        return count
+
+    def load_visits(self, visits) -> int:
+        """Bulk-load pre-generated visit structs (benchmark ingest)."""
+        from .repositories.visits import VisitStruct
+
+        count = 0
+        for v in visits:
+            self.visits_repository.store(
+                VisitStruct(
+                    user_id=v.user_id,
+                    poi_id=v.poi_id,
+                    timestamp=v.timestamp,
+                    grade=v.grade,
+                    poi_name=v.poi_name,
+                    lat=v.lat,
+                    lon=v.lon,
+                    keywords=tuple(v.keywords),
+                )
+            )
+            count += 1
+        return count
+
+    def shutdown(self) -> None:
+        """Release thread pools."""
+        self.hbase.shutdown()
+        self.job_runner.shutdown()
+
+    def __enter__(self) -> "MoDisSENSE":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def describe(self) -> dict:
+        """Deployment summary for logs and the demo GUI."""
+        return {
+            "hbase": self.hbase.describe(),
+            "sql_tables": self.sql.table_names(),
+            "pois": self.poi_repository.count(),
+            "visits": self.visits_repository.count(),
+            "networks": sorted(self.plugins),
+        }

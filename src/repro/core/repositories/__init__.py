@@ -1,0 +1,28 @@
+"""Datastore repositories (paper Section 2.1).
+
+Hybrid placement follows the paper exactly: PostgreSQL-style storage for
+the read-heavy, index-friendly POI and Blogs repositories; HBase for the
+scan-heavy, write-heavy Social Info, Text, Visits and GPS Traces
+repositories.
+"""
+
+from .poi import POIRepository, POI
+from .social_info import SocialInfoRepository
+from .text_repo import TextRepository, CommentRecord
+from .visits import VisitsRepository, VisitStruct
+from .gps_traces import GPSTracesRepository
+from .blogs import BlogsRepository, BlogEntry, BlogVisit
+
+__all__ = [
+    "POIRepository",
+    "POI",
+    "SocialInfoRepository",
+    "TextRepository",
+    "CommentRecord",
+    "VisitsRepository",
+    "VisitStruct",
+    "GPSTracesRepository",
+    "BlogsRepository",
+    "BlogEntry",
+    "BlogVisit",
+]

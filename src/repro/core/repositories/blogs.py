@@ -1,0 +1,165 @@
+"""Blogs Repository (PostgreSQL-resident).
+
+"We define a semantic trajectory to be a timestamped sequence of POIs
+summarizing user's activity during the day.  As POIs, blogs are
+frequently queried by users but they do not have to deal with heavy
+updates and thus are stored as a PostgreSQL resident table."
+(Section 2.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...errors import StorageError, ValidationError
+from ...sqlstore import (
+    Column,
+    ColumnType,
+    Eq,
+    HashIndex,
+    Query,
+    SqlEngine,
+    TableSchema,
+)
+
+TABLE = "blogs"
+
+
+@dataclass
+class BlogVisit:
+    """One stop of a semantic trajectory, editable by the user."""
+
+    poi_id: int
+    poi_name: str
+    arrival: int
+    departure: int
+    note: str = ""
+
+    def as_dict(self) -> Dict:
+        return {
+            "poi_id": self.poi_id,
+            "poi_name": self.poi_name,
+            "arrival": self.arrival,
+            "departure": self.departure,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BlogVisit":
+        return cls(
+            poi_id=data["poi_id"],
+            poi_name=data["poi_name"],
+            arrival=data["arrival"],
+            departure=data["departure"],
+            note=data.get("note", ""),
+        )
+
+
+@dataclass
+class BlogEntry:
+    """A day's blog: ordered visits plus publication state."""
+
+    blog_id: int
+    user_id: int
+    day: str  # ISO date, e.g. "2015-05-31"
+    visits: List[BlogVisit]
+    title: str = ""
+    published_to: tuple = ()
+
+
+class BlogsRepository:
+    """CRUD for user blogs with per-user lookup."""
+
+    def __init__(self, engine: SqlEngine) -> None:
+        self.engine = engine
+        engine.create_table(
+            TableSchema(
+                name=TABLE,
+                columns=[
+                    Column("blog_id", ColumnType.INTEGER),
+                    Column("user_id", ColumnType.INTEGER),
+                    Column("day", ColumnType.TEXT),
+                    Column("title", ColumnType.TEXT, default=""),
+                    Column("visits", ColumnType.JSON, default=[]),
+                    Column("published_to", ColumnType.JSON, default=[]),
+                ],
+                primary_key="blog_id",
+            )
+        )
+        engine.create_index(TABLE, HashIndex("user_id"))
+        self._next_id = 1
+
+    def create(
+        self, user_id: int, day: str, visits: List[BlogVisit], title: str = ""
+    ) -> BlogEntry:
+        blog_id = self._next_id
+        self._next_id += 1
+        self.engine.insert(
+            TABLE,
+            {
+                "blog_id": blog_id,
+                "user_id": user_id,
+                "day": day,
+                "title": title or "My day on %s" % day,
+                "visits": [v.as_dict() for v in visits],
+                "published_to": [],
+            },
+        )
+        return BlogEntry(
+            blog_id=blog_id,
+            user_id=user_id,
+            day=day,
+            visits=visits,
+            title=title or "My day on %s" % day,
+        )
+
+    def get(self, blog_id: int) -> Optional[BlogEntry]:
+        row = self.engine.table(TABLE).get_by_pk(blog_id)
+        return self._row_to_entry(row) if row else None
+
+    def for_user(self, user_id: int) -> List[BlogEntry]:
+        rows = self.engine.select(
+            Query(table=TABLE, where=Eq("user_id", user_id), order_by=("day", False))
+        )
+        return [self._row_to_entry(row) for row in rows]
+
+    def update_visits(self, blog_id: int, visits: List[BlogVisit]) -> None:
+        """Replace the visit sequence (reordering / editing in the GUI)."""
+        self._validate_sequence(visits)
+        rid = self._rid(blog_id)
+        self.engine.update(TABLE, rid, {"visits": [v.as_dict() for v in visits]})
+
+    def mark_published(self, blog_id: int, network: str) -> None:
+        rid = self._rid(blog_id)
+        row = self.engine.table(TABLE).get(rid)
+        assert row is not None
+        published = list(row["published_to"])
+        if network not in published:
+            published.append(network)
+        self.engine.update(TABLE, rid, {"published_to": published})
+
+    def _rid(self, blog_id: int) -> int:
+        rids = self.engine.table(TABLE).rids_by_pk(blog_id)
+        if not rids:
+            raise StorageError("no blog with id %r" % blog_id)
+        return next(iter(rids))
+
+    @staticmethod
+    def _validate_sequence(visits: List[BlogVisit]) -> None:
+        for visit in visits:
+            if visit.departure < visit.arrival:
+                raise ValidationError(
+                    "visit to %r departs before it arrives" % visit.poi_name
+                )
+
+    @staticmethod
+    def _row_to_entry(row: Dict) -> BlogEntry:
+        return BlogEntry(
+            blog_id=row["blog_id"],
+            user_id=row["user_id"],
+            day=row["day"],
+            title=row["title"],
+            visits=[BlogVisit.from_dict(v) for v in row["visits"]],
+            published_to=tuple(row["published_to"]),
+        )

@@ -1,0 +1,111 @@
+"""GPS Traces Repository (HBase-resident).
+
+"Since the platform may continuously receive GPS traces, this repository
+is expected to deal with a high update rate ... there is no need to
+build indices on them." (Section 2.1)
+
+Row key: ``geohash(6) ␟ timestamp ␟ user_id`` — no secondary indexes,
+but the geohash prefix gives the periodic bulk jobs spatial locality for
+free, and the timestamp component makes windowed scans cheap inside a
+geohash cell.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ...datagen.gps import GPSPoint
+from ...geo import geohash_encode
+from ...hbase import (
+    Cell,
+    HBaseCluster,
+    TableDescriptor,
+    compose_key,
+    encode_int,
+)
+from ..serialization import decode_json, encode_json
+
+TABLE = "gps_traces"
+FAMILY = "g"
+QUALIFIER = b"p"
+GEOHASH_PRECISION = 6
+
+
+class GPSTracesRepository:
+    """Append-heavy trace storage for the Event Detection Module."""
+
+    def __init__(self, cluster: HBaseCluster, num_regions: int = 16) -> None:
+        self.cluster = cluster
+        self.table = cluster.create_table(
+            TableDescriptor(name=TABLE, families=[FAMILY], num_regions=num_regions)
+        )
+        #: High-water mark of processed timestamps; the periodic job
+        #: only clusters traces newer than this (paper: "processes in
+        #: parallel the *updates* of GPS Traces Repository").
+        self.processed_until = 0
+
+    @staticmethod
+    def _row_key(point: GPSPoint) -> bytes:
+        return compose_key(
+            geohash_encode(point.lat, point.lon, GEOHASH_PRECISION),
+            encode_int(point.timestamp),
+            encode_int(point.user_id),
+        )
+
+    def push(self, point: GPSPoint) -> None:
+        """Ingest one trace sample from a mobile device."""
+        self.table.put(
+            Cell(
+                row=self._row_key(point),
+                family=FAMILY,
+                qualifier=QUALIFIER,
+                timestamp=point.timestamp,
+                value=encode_json({"lat": point.lat, "lon": point.lon}),
+            )
+        )
+
+    def push_many(self, points) -> int:
+        count = 0
+        for point in points:
+            self.push(point)
+            count += 1
+        return count
+
+    def scan_window(
+        self, since: Optional[int] = None, until: Optional[int] = None
+    ) -> Iterator[GPSPoint]:
+        """All traces in ``[since, until)`` (bulk, unindexed)."""
+        for cell in self.table.scan(FAMILY):
+            # Positional parse — geohash(6) ␟ ts(8) ␟ user(8): the
+            # fixed-width ints may contain the separator byte.
+            row = cell.row
+            ts = int.from_bytes(row[7:15], "big")
+            if since is not None and ts < since:
+                continue
+            if until is not None and ts >= until:
+                continue
+            payload = decode_json(cell.value)
+            yield GPSPoint(
+                user_id=int.from_bytes(row[16:24], "big"),
+                lat=payload["lat"],
+                lon=payload["lon"],
+                timestamp=ts,
+            )
+
+    def user_trace(
+        self,
+        user_id: int,
+        since: Optional[int] = None,
+        until: Optional[int] = None,
+    ) -> List[GPSPoint]:
+        """One user's points in time order — the trajectory module's
+        input.  A full scan by design: this repository has no per-user
+        index, and trajectory extraction is a periodic bulk job."""
+        points = [
+            p for p in self.scan_window(since, until) if p.user_id == user_id
+        ]
+        points.sort(key=lambda p: p.timestamp)
+        return points
+
+    def count(self) -> int:
+        return self.table.total_rows(FAMILY)

@@ -1,0 +1,97 @@
+"""Social Info Repository (HBase-resident).
+
+"For each MoDisSENSE user and for each connected social network, the
+list of friends is persisted ... a compressed list with the unique
+social network id, the name and the profile picture of each friend."
+(Section 2.1)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...hbase import Cell, HBaseCluster, TableDescriptor, encode_int
+from ...social import FriendInfo
+from ..serialization import decode_compressed_json, encode_compressed_json
+
+TABLE = "social_info"
+FAMILY = "s"
+
+
+class SocialInfoRepository:
+    """Per-(user, network) compressed friend lists."""
+
+    def __init__(self, cluster: HBaseCluster, num_regions: int = 4) -> None:
+        self.cluster = cluster
+        self.table = cluster.create_table(
+            TableDescriptor(name=TABLE, families=[FAMILY], num_regions=num_regions)
+        )
+
+    @staticmethod
+    def _row_key(user_id: int) -> bytes:
+        return encode_int(user_id)
+
+    def store_friends(
+        self,
+        user_id: int,
+        network: str,
+        friends: List[FriendInfo],
+        timestamp: int,
+    ) -> None:
+        """Persist the full friend list for one connected network.
+
+        The whole list is one compressed cell: friend lists are read all
+        at once by the Query Answering Module, never partially.
+        """
+        payload = [
+            {
+                "id": f.network_user_id,
+                "name": f.name,
+                "picture": f.picture_url,
+            }
+            for f in friends
+        ]
+        self.table.put(
+            Cell(
+                row=self._row_key(user_id),
+                family=FAMILY,
+                qualifier=network.encode("utf-8"),
+                timestamp=timestamp,
+                value=encode_compressed_json(payload),
+            )
+        )
+
+    def get_friends(self, user_id: int, network: str) -> List[FriendInfo]:
+        """The stored friend list, or [] if the network is not linked."""
+        value = self.table.get(
+            self._row_key(user_id), FAMILY, network.encode("utf-8")
+        )
+        if value is None:
+            return []
+        return [
+            FriendInfo(
+                network_user_id=item["id"],
+                name=item["name"],
+                picture_url=item["picture"],
+            )
+            for item in decode_compressed_json(value)
+        ]
+
+    def get_all_friends(self, user_id: int) -> Dict[str, List[FriendInfo]]:
+        """Friend lists across every linked network."""
+        row = self.table.get_row(self._row_key(user_id), FAMILY)
+        return {
+            qualifier.decode("utf-8"): [
+                FriendInfo(
+                    network_user_id=item["id"],
+                    name=item["name"],
+                    picture_url=item["picture"],
+                )
+                for item in decode_compressed_json(value)
+            ]
+            for qualifier, value in row.items()
+        }
+
+    def linked_networks(self, user_id: int) -> List[str]:
+        row = self.table.get_row(self._row_key(user_id), FAMILY)
+        return sorted(q.decode("utf-8") for q in row)

@@ -1,0 +1,128 @@
+"""Text Repository (HBase-resident).
+
+"The Text repository holds all the collected comments and reviews about
+POIs.  Texts are indexed by user, POI and time.  For any given POI, we
+are able to retrieve the comments that a specified user made at any
+given time interval." (Section 2.1)
+
+Row key: ``user ␟ poi ␟ timestamp`` — so one prefix scan answers "the
+comments user U made about POI P in [t0, t1)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ...hbase import (
+    Cell,
+    HBaseCluster,
+    TableDescriptor,
+    compose_key,
+    encode_int,
+)
+from ..serialization import decode_json, encode_json
+
+TABLE = "texts"
+FAMILY = "t"
+QUALIFIER = b"c"
+
+
+@dataclass(frozen=True)
+class CommentRecord:
+    """A comment plus its sentiment score, as persisted."""
+
+    user_id: int
+    poi_id: int
+    timestamp: int
+    text: str
+    sentiment: float  # P(positive) from the Text Processing Module
+
+
+class TextRepository:
+    """Comment storage keyed by (user, poi, time)."""
+
+    def __init__(self, cluster: HBaseCluster, num_regions: int = 8) -> None:
+        self.cluster = cluster
+        self.table = cluster.create_table(
+            TableDescriptor(name=TABLE, families=[FAMILY], num_regions=num_regions)
+        )
+
+    @staticmethod
+    def _row_key(user_id: int, poi_id: int, timestamp: int) -> bytes:
+        return compose_key(
+            encode_int(user_id), encode_int(poi_id), encode_int(timestamp)
+        )
+
+    def store(self, record: CommentRecord) -> None:
+        self.table.put(
+            Cell(
+                row=self._row_key(record.user_id, record.poi_id, record.timestamp),
+                family=FAMILY,
+                qualifier=QUALIFIER,
+                timestamp=record.timestamp,
+                value=encode_json(
+                    {"text": record.text, "sentiment": record.sentiment}
+                ),
+            )
+        )
+
+    def comments(
+        self,
+        user_id: int,
+        poi_id: int,
+        since: Optional[int] = None,
+        until: Optional[int] = None,
+    ) -> List[CommentRecord]:
+        """Comments by ``user_id`` about ``poi_id`` in ``[since, until)``."""
+        start = compose_key(
+            encode_int(user_id),
+            encode_int(poi_id),
+            encode_int(since if since is not None else 0),
+        )
+        stop = compose_key(
+            encode_int(user_id),
+            encode_int(poi_id),
+            encode_int(until if until is not None else (1 << 63)),
+        )
+        out: List[CommentRecord] = []
+        for cell in self.table.scan(FAMILY, start, stop):
+            out.append(self._decode(cell))
+        return out
+
+    @staticmethod
+    def _decode(cell) -> CommentRecord:
+        """Positional parse — user(8) ␟ poi(8) ␟ ts(8): fixed-width ints
+        may contain the separator byte, so splitting is unsafe."""
+        row = cell.row
+        payload = decode_json(cell.value)
+        return CommentRecord(
+            user_id=int.from_bytes(row[0:8], "big"),
+            poi_id=int.from_bytes(row[9:17], "big"),
+            timestamp=int.from_bytes(row[18:26], "big"),
+            text=payload["text"],
+            sentiment=payload["sentiment"],
+        )
+
+    def user_comments(
+        self, user_id: int, since: Optional[int] = None, until: Optional[int] = None
+    ) -> List[CommentRecord]:
+        """All of one user's comments, any POI, optionally time-bounded.
+
+        The time bound is a residual filter: time is the key's last
+        component, so only the user prefix narrows the scan.
+        """
+        from ...hbase import next_prefix
+
+        prefix = encode_int(user_id)
+        start = compose_key(prefix)
+        stop = next_prefix(start)
+        out: List[CommentRecord] = []
+        for cell in self.table.scan(FAMILY, start, stop if stop else None):
+            record = self._decode(cell)
+            if since is not None and record.timestamp < since:
+                continue
+            if until is not None and record.timestamp >= until:
+                continue
+            out.append(record)
+        return out

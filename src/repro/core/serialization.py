@@ -1,0 +1,57 @@
+"""Value serialization for HBase cells.
+
+HBase stores opaque bytes; the platform stores JSON — compact, debuggable
+and schema-tolerant, which matters when the Data Collection Module adds
+fields over time.  zlib compression is applied to friend lists, matching
+the paper's "compressed list" of friends (Section 2.1).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any
+
+from ..errors import StorageError
+
+
+def encode_json(value: Any) -> bytes:
+    """Serialize a JSON-compatible value to UTF-8 bytes."""
+    try:
+        return json.dumps(value, separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+    except (TypeError, ValueError) as exc:
+        raise StorageError("value is not JSON-serializable: %s" % exc) from exc
+
+
+def decode_json(data: bytes) -> Any:
+    """Inverse of :func:`encode_json`."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageError("cell does not hold valid JSON: %s" % exc) from exc
+
+
+def encode_compressed_json(value: Any) -> bytes:
+    """JSON + zlib, for large values like friend lists."""
+    return zlib.compress(encode_json(value), level=6)
+
+
+def decode_compressed_json(data: bytes) -> Any:
+    try:
+        return decode_json(zlib.decompress(data))
+    except zlib.error as exc:
+        raise StorageError("cell is not zlib-compressed JSON: %s" % exc) from exc
+
+
+def encode_float(value: float) -> bytes:
+    """Fixed-format float encoding for numeric cells."""
+    return repr(float(value)).encode("ascii")
+
+
+def decode_float(data: bytes) -> float:
+    try:
+        return float(data.decode("ascii"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise StorageError("cell does not hold a float: %s" % exc) from exc

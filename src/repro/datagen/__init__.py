@@ -1,0 +1,35 @@
+"""Synthetic workload generators.
+
+The paper's evaluation uses: ~8500 OpenStreetMap POIs in Greece, 150k
+social-network users whose visit counts follow Normal(170, 101), and a
+crawled Tripadvisor review corpus for classifier training.  None of that
+data ships with the paper, so these generators produce statistically
+matching substitutes with fixed seeds (substitutions documented in
+DESIGN.md Section 2).
+"""
+
+from .pois import POIRecord, generate_pois, POI_CATEGORIES
+from .users import UserRecord, generate_users
+from .visits import VisitRecord, generate_visits, visits_per_user
+from .reviews import ReviewRecord, ReviewGenerator
+from .gps import GPSPoint, generate_traces, TraceScenario
+from .social_setup import TasteProfile, PopulationResult, populate_network
+
+__all__ = [
+    "POIRecord",
+    "generate_pois",
+    "POI_CATEGORIES",
+    "UserRecord",
+    "generate_users",
+    "VisitRecord",
+    "generate_visits",
+    "visits_per_user",
+    "ReviewRecord",
+    "ReviewGenerator",
+    "GPSPoint",
+    "generate_traces",
+    "TraceScenario",
+    "TasteProfile",
+    "PopulationResult",
+    "populate_network",
+]

@@ -1,0 +1,137 @@
+"""Synthetic GPS traces for event detection and trajectory inference.
+
+The Event Detection Module clusters raw traces: "a dense concentration
+of traces signifies a POI existence" (Section 1).  The generator builds
+three kinds of points:
+
+- **hotspots**: tight Gaussian clouds of many users' points — the
+  spontaneous gatherings (concerts, traffic jams) the module must find;
+- **known-POI activity**: points near already-registered POIs, which the
+  module filters out before clustering;
+- **background wander**: sparse commuting noise that must stay noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+from ..geo import GeoPoint
+from ..geo.distance import offset_point_m
+from .pois import POIRecord
+
+
+@dataclass(frozen=True)
+class GPSPoint:
+    """One trace sample pushed by a mobile device."""
+
+    user_id: int
+    lat: float
+    lon: float
+    timestamp: int
+
+
+@dataclass
+class TraceScenario:
+    """Everything a test/bench needs to verify event detection."""
+
+    points: List[GPSPoint]
+    #: Ground-truth hotspot centers the detector should recover.
+    hotspot_centers: List[GeoPoint]
+    #: Points generated around known POIs (should be filtered).
+    near_known_poi_count: int
+    #: Background noise points (should remain noise).
+    background_count: int
+
+
+def generate_traces(
+    user_ids: Sequence[int],
+    known_pois: Sequence[POIRecord],
+    num_hotspots: int = 5,
+    points_per_hotspot: int = 120,
+    hotspot_radius_m: float = 25.0,
+    near_poi_points: int = 200,
+    background_points: int = 400,
+    center: Tuple[float, float] = (37.9838, 23.7275),
+    area_radius_m: float = 5000.0,
+    seed: int = 2015,
+    time_range: Tuple[int, int] = (1_420_000_000, 1_420_086_400),
+) -> TraceScenario:
+    """Build a full trace scenario around one city center."""
+    if not user_ids:
+        raise ValidationError("need at least one user")
+    if num_hotspots < 0:
+        raise ValidationError("num_hotspots must be >= 0")
+    rng = random.Random(seed)
+    t0, t1 = time_range
+    center_lat, center_lon = center
+
+    def random_ts() -> int:
+        return rng.randint(t0, t1 - 1)
+
+    def pick_user() -> int:
+        return rng.choice(list(user_ids))
+
+    points: List[GPSPoint] = []
+
+    # Hotspots: placed far enough apart not to merge under DBSCAN.
+    hotspot_centers: List[GeoPoint] = []
+    attempts = 0
+    while len(hotspot_centers) < num_hotspots and attempts < num_hotspots * 50:
+        attempts += 1
+        north = rng.uniform(-area_radius_m, area_radius_m)
+        east = rng.uniform(-area_radius_m, area_radius_m)
+        lat, lon = offset_point_m(center_lat, center_lon, north, east)
+        candidate = GeoPoint(lat, lon)
+        if any(candidate.distance_m(h) < 400.0 for h in hotspot_centers):
+            continue
+        if any(
+            candidate.distance_m(GeoPoint(p.lat, p.lon)) < 400.0
+            for p in known_pois
+        ):
+            continue
+        hotspot_centers.append(candidate)
+    for hotspot in hotspot_centers:
+        for _ in range(points_per_hotspot):
+            north = rng.gauss(0.0, hotspot_radius_m)
+            east = rng.gauss(0.0, hotspot_radius_m)
+            lat, lon = offset_point_m(hotspot.lat, hotspot.lon, north, east)
+            points.append(
+                GPSPoint(
+                    user_id=pick_user(), lat=lat, lon=lon, timestamp=random_ts()
+                )
+            )
+
+    # Activity near known POIs (the filter's target).
+    near_known = 0
+    if known_pois:
+        for _ in range(near_poi_points):
+            poi = rng.choice(list(known_pois))
+            north = rng.gauss(0.0, 15.0)
+            east = rng.gauss(0.0, 15.0)
+            lat, lon = offset_point_m(poi.lat, poi.lon, north, east)
+            points.append(
+                GPSPoint(
+                    user_id=pick_user(), lat=lat, lon=lon, timestamp=random_ts()
+                )
+            )
+            near_known += 1
+
+    # Background wander: uniform over the area, too sparse to cluster.
+    for _ in range(background_points):
+        north = rng.uniform(-area_radius_m, area_radius_m)
+        east = rng.uniform(-area_radius_m, area_radius_m)
+        lat, lon = offset_point_m(center_lat, center_lon, north, east)
+        points.append(
+            GPSPoint(user_id=pick_user(), lat=lat, lon=lon, timestamp=random_ts())
+        )
+
+    rng.shuffle(points)
+    return TraceScenario(
+        points=points,
+        hotspot_centers=hotspot_centers,
+        near_known_poi_count=near_known,
+        background_count=background_points,
+    )

@@ -1,0 +1,128 @@
+"""Synthetic POIs over the Greece bounding box.
+
+Stands in for the paper's OpenStreetMap extract: "information from
+OpenStreetMap about 8500 POIs located in Greece" (Section 3.1).  POIs
+cluster around real Greek city centers with a density profile that
+thins with distance, and each carries a category plus keyword list —
+the searchable attributes of the POI Repository.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GREECE_BBOX, PAPER_NUM_POIS
+from ..errors import ValidationError
+
+#: (name, lat, lon, weight) — larger weight, more POIs nearby.
+GREEK_CITIES: Tuple = (
+    ("Athens", 37.9838, 23.7275, 0.42),
+    ("Thessaloniki", 40.6401, 22.9444, 0.18),
+    ("Patras", 38.2466, 21.7346, 0.08),
+    ("Heraklion", 35.3387, 25.1442, 0.08),
+    ("Larissa", 39.6390, 22.4191, 0.06),
+    ("Volos", 39.3622, 22.9420, 0.05),
+    ("Ioannina", 39.6650, 20.8537, 0.05),
+    ("Chania", 35.5138, 24.0180, 0.04),
+    ("Rhodes", 36.4341, 28.2176, 0.04),
+)
+
+#: Category -> keywords a POI of that category may carry.
+POI_CATEGORIES: Dict[str, List[str]] = {
+    "restaurant": ["restaurant", "food", "dinner", "taverna", "grill"],
+    "fastfood": ["fastfood", "burger", "souvlaki", "pizza", "snack"],
+    "cafe": ["cafe", "coffee", "espresso", "breakfast"],
+    "bar": ["bar", "drinks", "cocktail", "nightlife"],
+    "museum": ["museum", "art", "history", "culture"],
+    "beach": ["beach", "sea", "swim", "sun"],
+    "hotel": ["hotel", "stay", "rooms", "resort"],
+    "park": ["park", "green", "walk", "playground"],
+    "theater": ["theater", "show", "concert", "stage"],
+    "shop": ["shop", "market", "mall", "souvenir"],
+}
+
+_NAME_PREFIXES = (
+    "Blue", "Golden", "Old", "Royal", "Little", "Grand", "Sunny",
+    "Ancient", "Marble", "Olive",
+)
+_NAME_SUFFIXES = (
+    "Corner", "House", "Garden", "Plaza", "Terrace", "Harbor", "View",
+    "Square", "Court", "Grove",
+)
+
+
+@dataclass(frozen=True)
+class POIRecord:
+    """One generated point of interest."""
+
+    poi_id: int
+    name: str
+    lat: float
+    lon: float
+    category: str
+    keywords: Tuple
+    city: str
+
+
+def generate_pois(
+    count: int = PAPER_NUM_POIS,
+    seed: int = 2015,
+    bbox: Optional[Tuple] = None,
+) -> List[POIRecord]:
+    """Generate ``count`` POIs with city-clustered spatial distribution."""
+    if count < 1:
+        raise ValidationError("count must be >= 1")
+    rng = random.Random(seed)
+    bbox = bbox or GREECE_BBOX
+    min_lat, min_lon, max_lat, max_lon = bbox
+
+    cities = list(GREEK_CITIES)
+    weights = [c[3] for c in cities]
+    categories = list(POI_CATEGORIES)
+
+    pois: List[POIRecord] = []
+    for poi_id in range(1, count + 1):
+        city_name, city_lat, city_lon, _w = rng.choices(cities, weights)[0]
+        # Exponential falloff from the center, ~0.5-5 km typical.
+        radius_deg = rng.expovariate(1.0 / 0.02)
+        angle = rng.uniform(0.0, 6.283185307)
+        lat = city_lat + radius_deg * _cos(angle)
+        lon = city_lon + radius_deg * _sin(angle)
+        lat = min(max(lat, min_lat), max_lat)
+        lon = min(max(lon, min_lon), max_lon)
+
+        category = rng.choice(categories)
+        base_keywords = POI_CATEGORIES[category]
+        keyword_count = rng.randint(2, len(base_keywords))
+        keywords = tuple(rng.sample(base_keywords, keyword_count))
+        name = "%s %s %s" % (
+            rng.choice(_NAME_PREFIXES),
+            category.capitalize(),
+            rng.choice(_NAME_SUFFIXES),
+        )
+        pois.append(
+            POIRecord(
+                poi_id=poi_id,
+                name=name,
+                lat=lat,
+                lon=lon,
+                category=category,
+                keywords=keywords,
+                city=city_name,
+            )
+        )
+    return pois
+
+
+def _cos(x: float) -> float:
+    import math
+
+    return math.cos(x)
+
+
+def _sin(x: float) -> float:
+    import math
+
+    return math.sin(x)

@@ -1,0 +1,127 @@
+"""Bulk population of simulated social networks.
+
+Examples, tests and benches all need the same setup: profiles on a
+network, an ego's friend circle, and check-ins with opinionated
+comments at known POIs.  :func:`populate_network` builds that in one
+call with controllable taste profiles, so scenario code stays about the
+scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+from ..social import CheckIn, FriendInfo, SimulatedNetwork
+from .pois import POIRecord
+from .users import generate_users
+
+POSITIVE_COMMENTS = (
+    "excellent delicious wonderful evening",
+    "superb impeccable lovely dinner",
+    "charming cozy fantastic place",
+    "gorgeous stunning view, perfect service",
+)
+NEGATIVE_COMMENTS = (
+    "overpriced bland disappointing",
+    "rude staff, dirty tables, awful",
+    "noisy crowded greasy food",
+    "stale dreadful meal, filthy floor",
+)
+
+
+@dataclass
+class TasteProfile:
+    """What a friend circle likes and dislikes."""
+
+    loves: Sequence[POIRecord]
+    hates: Sequence[POIRecord] = ()
+    checkins_per_friend: int = 5
+    hate_checkins_per_friend: int = 0
+
+
+@dataclass
+class PopulationResult:
+    """Everything the caller needs to drive the scenario afterwards."""
+
+    ego_id: str
+    friend_ids: List[str]
+    #: Numeric ids of the friends (what SearchQuery.friend_ids takes).
+    friend_numeric_ids: Tuple
+    checkins_added: int
+
+
+def populate_network(
+    network: SimulatedNetwork,
+    profile: TasteProfile,
+    num_friends: int = 10,
+    ego_name: str = "Ego",
+    start_user_id: int = 1,
+    time_range: Tuple[int, int] = (1_000, 10_000),
+    seed: int = 2015,
+) -> PopulationResult:
+    """Create an ego + friend circle and their opinionated check-ins.
+
+    Friends get ``checkins_per_friend`` loving visits to places in
+    ``profile.loves`` and ``hate_checkins_per_friend`` negative ones to
+    ``profile.hates``.  User ids are allocated from ``start_user_id`` so
+    multiple circles can coexist on one network without collisding.
+    """
+    if num_friends < 1:
+        raise ValidationError("num_friends must be >= 1")
+    if not profile.loves:
+        raise ValidationError("the taste profile needs loved POIs")
+    if profile.hate_checkins_per_friend > 0 and not profile.hates:
+        raise ValidationError("hate check-ins need hated POIs")
+    t0, t1 = time_range
+    if t0 >= t1:
+        raise ValidationError("time_range must be increasing")
+
+    rng = random.Random(seed)
+    users = generate_users(
+        count=num_friends + 1, network=network.name, seed=seed
+    )
+    # Re-number so circles can stack on one network.
+    prefix = users[0].network_user_id.split("_")[0]
+    ego_id = "%s_%d" % (prefix, start_user_id)
+    friend_ids = [
+        "%s_%d" % (prefix, start_user_id + i)
+        for i in range(1, num_friends + 1)
+    ]
+
+    network.add_profile(FriendInfo(ego_id, ego_name, "pic"))
+    for idx, friend_id in enumerate(friend_ids):
+        network.add_profile(
+            FriendInfo(friend_id, users[idx + 1].name, "pic")
+        )
+        network.add_friendship(ego_id, friend_id)
+
+    added = 0
+    for friend_id in friend_ids:
+        for _ in range(profile.checkins_per_friend):
+            poi = rng.choice(list(profile.loves))
+            network.add_checkin(
+                CheckIn(friend_id, poi.poi_id, poi.lat, poi.lon,
+                        rng.randint(t0, t1 - 1),
+                        rng.choice(POSITIVE_COMMENTS))
+            )
+            added += 1
+        for _ in range(profile.hate_checkins_per_friend):
+            poi = rng.choice(list(profile.hates))
+            network.add_checkin(
+                CheckIn(friend_id, poi.poi_id, poi.lat, poi.lon,
+                        rng.randint(t0, t1 - 1),
+                        rng.choice(NEGATIVE_COMMENTS))
+            )
+            added += 1
+
+    return PopulationResult(
+        ego_id=ego_id,
+        friend_ids=friend_ids,
+        friend_numeric_ids=tuple(
+            start_user_id + i for i in range(1, num_friends + 1)
+        ),
+        checkins_added=added,
+    )

@@ -1,0 +1,68 @@
+"""Synthetic social-network user population."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import PAPER_NUM_USERS
+from ..errors import ValidationError
+
+_FIRST_NAMES = (
+    "Yannis", "Maria", "Nikos", "Eleni", "Kostas", "Sofia", "Dimitris",
+    "Katerina", "Giorgos", "Anna", "Petros", "Ioanna", "Christos",
+    "Despina", "Alexis", "Zoe",
+)
+#: Canonical short prefixes for the supported networks.
+_NETWORK_PREFIXES = {
+    "facebook": "fb",
+    "twitter": "tw",
+    "foursquare": "fq",
+}
+
+_LAST_NAMES = (
+    "Papadopoulos", "Nikolaou", "Georgiou", "Dimitriou", "Ioannou",
+    "Konstantinou", "Vasileiou", "Christou", "Antoniou", "Makris",
+    "Economou", "Alexiou",
+)
+
+
+@dataclass(frozen=True)
+class UserRecord:
+    """One social-network user.
+
+    ``network_user_id`` follows the ``<network>_<numeric>`` convention
+    the simulated networks expect.
+    """
+
+    user_id: int
+    name: str
+    network: str
+    network_user_id: str
+    picture_url: str
+
+
+def generate_users(
+    count: int = PAPER_NUM_USERS,
+    network: str = "facebook",
+    seed: int = 2015,
+) -> List[UserRecord]:
+    """Generate ``count`` users on one network."""
+    if count < 1:
+        raise ValidationError("count must be >= 1")
+    rng = random.Random(seed)
+    prefix = _NETWORK_PREFIXES.get(network, network[:2])
+    users: List[UserRecord] = []
+    for user_id in range(1, count + 1):
+        name = "%s %s" % (rng.choice(_FIRST_NAMES), rng.choice(_LAST_NAMES))
+        users.append(
+            UserRecord(
+                user_id=user_id,
+                name=name,
+                network=network,
+                network_user_id="%s_%d" % (prefix, user_id),
+                picture_url="https://img.example/%s/%d.jpg" % (network, user_id),
+            )
+        )
+    return users

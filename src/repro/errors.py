@@ -1,0 +1,81 @@
+"""Exception hierarchy for the MoDisSENSE reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch platform failures with a single ``except`` clause while
+still being able to discriminate between storage, query, and processing
+failures when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the storage substrates."""
+
+
+class TableNotFoundError(StorageError):
+    """A referenced table does not exist."""
+
+
+class TableExistsError(StorageError):
+    """Attempted to create a table that already exists."""
+
+
+class ColumnFamilyNotFoundError(StorageError):
+    """A mutation or read referenced an undeclared HBase column family."""
+
+
+class RegionNotFoundError(StorageError):
+    """No region of a table covers the requested row key."""
+
+
+class SchemaError(StorageError):
+    """A row violates the declared relational schema."""
+
+
+class IndexError_(StorageError):
+    """An index lookup referenced a column without an index.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`, which has unrelated semantics.
+    """
+
+
+class QueryError(ReproError):
+    """A query was malformed or referenced unknown entities."""
+
+
+class PlannerError(QueryError):
+    """The relational planner could not produce a plan for a query."""
+
+
+class CoprocessorError(ReproError):
+    """A region coprocessor raised during region-local execution."""
+
+
+class MapReduceError(ReproError):
+    """A MapReduce job failed."""
+
+
+class AuthenticationError(ReproError):
+    """OAuth-style authentication with a social network failed."""
+
+
+class PluginError(ReproError):
+    """A social-network plugin is missing or misbehaved."""
+
+
+class NotTrainedError(ReproError):
+    """A classifier was used before :meth:`train` was called."""
+
+
+class ValidationError(ReproError):
+    """A user-supplied request failed validation at the API boundary."""

@@ -1,0 +1,26 @@
+"""Geospatial substrate: points, bounding boxes, distances, geohash, R-tree.
+
+Every spatial feature of the platform — POI bounding-box search, GPS-trace
+clustering, known-POI filtering, trajectory inference — builds on this
+package.
+"""
+
+from .point import GeoPoint
+from .bbox import BoundingBox
+from .distance import haversine_m, euclidean_approx_m, METERS_PER_DEG_LAT
+from .geohash import geohash_encode, geohash_decode, geohash_neighbors
+from .rtree import RTree
+from .simplify import simplify_trace
+
+__all__ = [
+    "GeoPoint",
+    "BoundingBox",
+    "haversine_m",
+    "euclidean_approx_m",
+    "METERS_PER_DEG_LAT",
+    "geohash_encode",
+    "geohash_decode",
+    "geohash_neighbors",
+    "RTree",
+    "simplify_trace",
+]

@@ -1,0 +1,142 @@
+"""Axis-aligned geographic bounding boxes.
+
+The platform's primary query shape is "POIs inside a bounding box on the
+map" (paper Section 1), so this type appears in every query request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from .point import GeoPoint
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A ``[min_lat, max_lat] x [min_lon, max_lon]`` rectangle.
+
+    Boxes crossing the antimeridian are rejected; the paper's dataset
+    (Greece) makes that simplification safe.
+    """
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def __post_init__(self) -> None:
+        if self.min_lat > self.max_lat:
+            raise ValidationError(
+                "min_lat %r > max_lat %r" % (self.min_lat, self.max_lat)
+            )
+        if self.min_lon > self.max_lon:
+            raise ValidationError(
+                "min_lon %r > max_lon %r" % (self.min_lon, self.max_lon)
+            )
+        for lat in (self.min_lat, self.max_lat):
+            if not -90.0 <= lat <= 90.0:
+                raise ValidationError("latitude out of range: %r" % (lat,))
+        for lon in (self.min_lon, self.max_lon):
+            if not -180.0 <= lon <= 180.0:
+                raise ValidationError("longitude out of range: %r" % (lon,))
+
+    @classmethod
+    def from_points(cls, points) -> "BoundingBox":
+        """Smallest box containing every point in ``points``."""
+        pts = list(points)
+        if not pts:
+            raise ValidationError("cannot build a bounding box from no points")
+        lats = [p.lat for p in pts]
+        lons = [p.lon for p in pts]
+        return cls(min(lats), min(lons), max(lats), max(lons))
+
+    @classmethod
+    def from_tuple(cls, t) -> "BoundingBox":
+        """Build from ``(min_lat, min_lon, max_lat, max_lon)``."""
+        return cls(t[0], t[1], t[2], t[3])
+
+    def contains(self, point: GeoPoint) -> bool:
+        """True if ``point`` lies inside the box (borders inclusive)."""
+        return (
+            self.min_lat <= point.lat <= self.max_lat
+            and self.min_lon <= point.lon <= self.max_lon
+        )
+
+    def contains_coords(self, lat: float, lon: float) -> bool:
+        """Coordinate-pair variant of :meth:`contains` for hot paths."""
+        return (
+            self.min_lat <= lat <= self.max_lat
+            and self.min_lon <= lon <= self.max_lon
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True if the two boxes share any area (or border)."""
+        return not (
+            other.min_lat > self.max_lat
+            or other.max_lat < self.min_lat
+            or other.min_lon > self.max_lon
+            or other.max_lon < self.min_lon
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_lat, other.min_lat),
+            min(self.min_lon, other.min_lon),
+            max(self.max_lat, other.max_lat),
+            max(self.max_lon, other.max_lon),
+        )
+
+    def expand_m(self, margin_m: float) -> "BoundingBox":
+        """Box grown by ``margin_m`` meters on every side.
+
+        Used to build the eps-halo around MR-DBSCAN grid partitions.
+        """
+        from .distance import METERS_PER_DEG_LAT, meters_per_deg_lon
+
+        dlat = margin_m / METERS_PER_DEG_LAT
+        mid_lat = (self.min_lat + self.max_lat) / 2.0
+        dlon = margin_m / max(meters_per_deg_lon(mid_lat), 1e-9)
+        return BoundingBox(
+            max(-90.0, self.min_lat - dlat),
+            max(-180.0, self.min_lon - dlon),
+            min(90.0, self.max_lat + dlat),
+            min(180.0, self.max_lon + dlon),
+        )
+
+    @property
+    def center(self) -> GeoPoint:
+        """The box's midpoint."""
+        return GeoPoint(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+
+    @property
+    def area_deg2(self) -> float:
+        """Area in square degrees (useful for splitting heuristics)."""
+        return (self.max_lat - self.min_lat) * (self.max_lon - self.min_lon)
+
+    def as_tuple(self) -> tuple:
+        """Return ``(min_lat, min_lon, max_lat, max_lon)``."""
+        return (self.min_lat, self.min_lon, self.max_lat, self.max_lon)
+
+    def split_grid(self, rows: int, cols: int):
+        """Split into a ``rows x cols`` grid of boxes, row-major order."""
+        if rows < 1 or cols < 1:
+            raise ValidationError("grid dimensions must be >= 1")
+        dlat = (self.max_lat - self.min_lat) / rows
+        dlon = (self.max_lon - self.min_lon) / cols
+        cells = []
+        for r in range(rows):
+            for c in range(cols):
+                cells.append(
+                    BoundingBox(
+                        self.min_lat + r * dlat,
+                        self.min_lon + c * dlon,
+                        self.min_lat + (r + 1) * dlat,
+                        self.min_lon + (c + 1) * dlon,
+                    )
+                )
+        return cells

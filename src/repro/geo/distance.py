@@ -1,0 +1,60 @@
+"""Distance computations on the WGS-84 sphere."""
+
+from __future__ import annotations
+
+import math
+
+#: Mean Earth radius in meters (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+#: Meters per degree of latitude (constant on a sphere).
+METERS_PER_DEG_LAT = EARTH_RADIUS_M * math.pi / 180.0
+
+
+def haversine_m(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two lat/lon pairs, in meters.
+
+    Uses the haversine formulation, which is numerically stable for the
+    small distances (tens of meters) that DBSCAN's ``eps`` operates at.
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def euclidean_approx_m(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Fast equirectangular approximation of the distance in meters.
+
+    Accurate to well under 1% at city scale; used on hot paths (grid
+    clustering) where haversine's trigonometry dominates.
+    """
+    mean_phi = math.radians((lat1 + lat2) / 2.0)
+    dy = (lat2 - lat1) * METERS_PER_DEG_LAT
+    dx = (lon2 - lon1) * METERS_PER_DEG_LAT * math.cos(mean_phi)
+    return math.hypot(dx, dy)
+
+
+def meters_per_deg_lon(lat: float) -> float:
+    """Meters spanned by one degree of longitude at latitude ``lat``."""
+    return METERS_PER_DEG_LAT * math.cos(math.radians(lat))
+
+
+def offset_point_m(
+    lat: float, lon: float, north_m: float, east_m: float
+) -> tuple:
+    """Return the ``(lat, lon)`` found ``north_m``/``east_m`` meters away.
+
+    A flat-earth approximation, fine for the sub-kilometer offsets used by
+    the GPS-trace generator.
+    """
+    new_lat = lat + north_m / METERS_PER_DEG_LAT
+    new_lon = lon + east_m / max(meters_per_deg_lon(lat), 1e-9)
+    return (new_lat, new_lon)

@@ -1,0 +1,127 @@
+"""Geohash encoding/decoding.
+
+Geohashes give the platform a cheap, sortable spatial key: HBase row keys
+for GPS traces are prefixed with a geohash so that spatially-near traces
+land in the same region, and the MR-DBSCAN partitioner uses geohash cells
+as its grid.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+
+_BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+_BASE32_INDEX = {c: i for i, c in enumerate(_BASE32)}
+
+
+def geohash_encode(lat: float, lon: float, precision: int = 9) -> str:
+    """Encode a lat/lon pair into a geohash of ``precision`` characters."""
+    if not -90.0 <= lat <= 90.0:
+        raise ValidationError("latitude out of range: %r" % (lat,))
+    if not -180.0 <= lon <= 180.0:
+        raise ValidationError("longitude out of range: %r" % (lon,))
+    if precision < 1:
+        raise ValidationError("precision must be >= 1")
+
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    chars = []
+    bit = 0
+    current = 0
+    even = True  # even bits encode longitude
+    while len(chars) < precision:
+        if even:
+            mid = (lon_lo + lon_hi) / 2.0
+            if lon >= mid:
+                current = (current << 1) | 1
+                lon_lo = mid
+            else:
+                current <<= 1
+                lon_hi = mid
+        else:
+            mid = (lat_lo + lat_hi) / 2.0
+            if lat >= mid:
+                current = (current << 1) | 1
+                lat_lo = mid
+            else:
+                current <<= 1
+                lat_hi = mid
+        even = not even
+        bit += 1
+        if bit == 5:
+            chars.append(_BASE32[current])
+            bit = 0
+            current = 0
+    return "".join(chars)
+
+
+def geohash_decode(geohash: str) -> tuple:
+    """Decode a geohash to ``(lat, lon, lat_err, lon_err)``.
+
+    The returned point is the cell center; the errors are half the cell
+    dimensions.
+    """
+    if not geohash:
+        raise ValidationError("empty geohash")
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    even = True
+    for ch in geohash:
+        try:
+            value = _BASE32_INDEX[ch]
+        except KeyError:
+            raise ValidationError("invalid geohash character %r" % ch) from None
+        for shift in range(4, -1, -1):
+            bit = (value >> shift) & 1
+            if even:
+                mid = (lon_lo + lon_hi) / 2.0
+                if bit:
+                    lon_lo = mid
+                else:
+                    lon_hi = mid
+            else:
+                mid = (lat_lo + lat_hi) / 2.0
+                if bit:
+                    lat_lo = mid
+                else:
+                    lat_hi = mid
+            even = not even
+    lat = (lat_lo + lat_hi) / 2.0
+    lon = (lon_lo + lon_hi) / 2.0
+    return (lat, lon, (lat_hi - lat_lo) / 2.0, (lon_hi - lon_lo) / 2.0)
+
+
+def geohash_bbox(geohash: str):
+    """Bounding box covered by a geohash cell."""
+    from .bbox import BoundingBox
+
+    lat, lon, lat_err, lon_err = geohash_decode(geohash)
+    return BoundingBox(lat - lat_err, lon - lon_err, lat + lat_err, lon + lon_err)
+
+
+def geohash_neighbors(geohash: str) -> list:
+    """The eight neighbouring cells of a geohash, same precision.
+
+    Computed by decode → offset → re-encode, which sidesteps the classic
+    per-character border lookup tables and is exact away from the poles.
+    """
+    lat, lon, lat_err, lon_err = geohash_decode(geohash)
+    precision = len(geohash)
+    neighbors = []
+    for dlat in (-1, 0, 1):
+        for dlon in (-1, 0, 1):
+            if dlat == 0 and dlon == 0:
+                continue
+            nlat = lat + dlat * 2.0 * lat_err
+            nlon = lon + dlon * 2.0 * lon_err
+            if not -90.0 <= nlat <= 90.0:
+                continue
+            # Wrap longitude across the antimeridian.
+            if nlon > 180.0:
+                nlon -= 360.0
+            elif nlon < -180.0:
+                nlon += 360.0
+            code = geohash_encode(nlat, nlon, precision)
+            if code != geohash and code not in neighbors:
+                neighbors.append(code)
+    return neighbors

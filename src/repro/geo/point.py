@@ -1,0 +1,38 @@
+"""Immutable geographic point type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True, order=True)
+class GeoPoint:
+    """A WGS-84 latitude/longitude pair.
+
+    The type is frozen so points can be dictionary keys and set members,
+    which the clustering code relies on.
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValidationError("latitude out of range: %r" % (self.lat,))
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValidationError("longitude out of range: %r" % (self.lon,))
+
+    def distance_m(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in meters."""
+        from .distance import haversine_m
+
+        return haversine_m(self.lat, self.lon, other.lat, other.lon)
+
+    def as_tuple(self) -> tuple:
+        """Return ``(lat, lon)``."""
+        return (self.lat, self.lon)
+
+    def __str__(self) -> str:
+        return "(%.6f, %.6f)" % (self.lat, self.lon)

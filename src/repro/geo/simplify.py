@@ -1,0 +1,76 @@
+"""Trajectory simplification (Douglas–Peucker).
+
+Mobile devices stream GPS at a rate the platform does not need for
+stay-point detection; simplifying a trace before storage cuts the GPS
+repository's "high update rate" (paper Section 2.1) without moving any
+stay point by more than the tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ValidationError
+from .distance import METERS_PER_DEG_LAT, meters_per_deg_lon
+from .point import GeoPoint
+
+
+def _perpendicular_distance_m(
+    point: GeoPoint, start: GeoPoint, end: GeoPoint
+) -> float:
+    """Distance from ``point`` to the segment ``start → end`` in meters,
+    on a local flat projection (exact enough at trace scale)."""
+    mid_lat = (start.lat + end.lat) / 2.0
+    kx = meters_per_deg_lon(mid_lat)
+    ky = METERS_PER_DEG_LAT
+
+    ax, ay = start.lon * kx, start.lat * ky
+    bx, by = end.lon * kx, end.lat * ky
+    px, py = point.lon * kx, point.lat * ky
+
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0:
+        return ((px - ax) ** 2 + (py - ay) ** 2) ** 0.5
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+    t = max(0.0, min(1.0, t))
+    cx, cy = ax + t * dx, ay + t * dy
+    return ((px - cx) ** 2 + (py - cy) ** 2) ** 0.5
+
+
+def simplify_trace(
+    points: Sequence[GeoPoint], tolerance_m: float
+) -> List[GeoPoint]:
+    """Douglas–Peucker simplification.
+
+    Returns a subsequence of ``points`` (endpoints always kept) such
+    that no removed point lies farther than ``tolerance_m`` from the
+    simplified polyline.  Iterative formulation — GPS day-traces can be
+    thousands of points, deeper than Python's recursion limit allows.
+    """
+    if tolerance_m <= 0:
+        raise ValidationError("tolerance_m must be positive")
+    pts = list(points)
+    if len(pts) <= 2:
+        return pts
+
+    keep = [False] * len(pts)
+    keep[0] = keep[-1] = True
+    stack = [(0, len(pts) - 1)]
+    while stack:
+        start, end = stack.pop()
+        if end - start < 2:
+            continue
+        worst_idx = -1
+        worst_dist = tolerance_m
+        for i in range(start + 1, end):
+            d = _perpendicular_distance_m(pts[i], pts[start], pts[end])
+            if d > worst_dist:
+                worst_dist = d
+                worst_idx = i
+        if worst_idx >= 0:
+            keep[worst_idx] = True
+            stack.append((start, worst_idx))
+            stack.append((worst_idx, end))
+
+    return [p for p, k in zip(pts, keep) if k]

@@ -1,0 +1,210 @@
+"""Cluster-level HBase client.
+
+Owns every table, places regions on simulated nodes, and executes
+coprocessor calls: the *work* runs for real on a thread pool (one task
+per region, as HBase does), while the *latency* is produced by the
+cluster simulation's scheduler and cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..cluster import ClusterSimulation, ParallelExecutor, QueryTimeline, Task
+from ..config import ClusterConfig
+from ..errors import TableExistsError, TableNotFoundError
+from .coprocessor import Coprocessor, CoprocessorContext
+from .table import HTable, TableDescriptor
+
+
+@dataclass
+class CoprocessorCallResult:
+    """Outcome of one coprocessor invocation across a table's regions."""
+
+    result: Any
+    timeline: QueryTimeline
+    per_region_records: Dict[int, int] = field(default_factory=dict)
+    #: Size of each region's partial result (items shipped to the
+    #: client for merging).
+    per_region_results: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> float:
+        """Simulated end-to-end latency of the call in milliseconds."""
+        return self.timeline.latency_ms
+
+    @property
+    def records_scanned(self) -> int:
+        return self.timeline.records_scanned
+
+
+class HBaseCluster:
+    """The facade the platform's repositories talk to.
+
+    Parameters
+    ----------
+    config:
+        Cluster shape and cost model; defaults to the paper's 16-node
+        setup.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self.simulation = ClusterSimulation(self.config)
+        self._executor = ParallelExecutor(max_workers=self.config.total_cores)
+        self._tables: Dict[str, HTable] = {}
+
+    # -------------------------------------------------------------- DDL
+
+    def create_table(self, descriptor: TableDescriptor) -> HTable:
+        if descriptor.name in self._tables:
+            raise TableExistsError("table %r already exists" % descriptor.name)
+        table = HTable(descriptor)
+        self._tables[descriptor.name] = table
+        self._replace_regions()
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise TableNotFoundError("table %r does not exist" % name)
+        del self._tables[name]
+        self._replace_regions()
+
+    def table(self, name: str) -> HTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError("table %r does not exist" % name) from None
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def _replace_regions(self) -> None:
+        """Re-run region placement after any region-set change."""
+        all_regions: List[int] = []
+        for table in self._tables.values():
+            all_regions.extend(table.region_ids())
+        self.simulation.place_regions(all_regions)
+
+    def rebalance(self) -> None:
+        """Public hook: re-place regions (needed after region splits)."""
+        self._replace_regions()
+
+    # ----------------------------------------------------- coprocessors
+
+    def coprocessor_exec(
+        self,
+        table_name: str,
+        coprocessor: Coprocessor,
+        request: Any,
+        start_row: Optional[bytes] = None,
+        stop_row: Optional[bytes] = None,
+    ) -> CoprocessorCallResult:
+        """Invoke an endpooint on every region intersecting the row range.
+
+        Returns the merged result plus the simulated timeline of the
+        fan-out (used by the benchmarks).
+        """
+        timelines = self.coprocessor_exec_many(
+            table_name, coprocessor, [request], start_row, stop_row
+        )
+        return timelines[0]
+
+    def coprocessor_exec_many(
+        self,
+        table_name: str,
+        coprocessor: Coprocessor,
+        requests: Sequence[Any],
+        start_row: Optional[bytes] = None,
+        stop_row: Optional[bytes] = None,
+    ) -> List[CoprocessorCallResult]:
+        """Invoke the endpoint for several *concurrent* requests.
+
+        All requests share the cluster: their region tasks contend for
+        the same simulated cores, which is exactly the paper's Figure 3
+        experiment.
+        """
+        table = self.table(table_name)
+        regions = table.regions_for_range(start_row, stop_row)
+
+        per_request_partials: List[List[Any]] = []
+        per_request_tasks: List[List[Task]] = []
+        per_request_records: List[Dict[int, int]] = []
+        per_request_results: List[Dict[int, int]] = []
+
+        for qi, request in enumerate(requests):
+            def run_one(region, _request=request):
+                context = CoprocessorContext(region)
+                partial = coprocessor.run(context, _request)
+                return (region.region_id, context.records_scanned, partial)
+
+            outcomes = self._executor.map_ordered(run_one, regions)
+            partials = []
+            tasks = []
+            records: Dict[int, int] = {}
+            result_sizes: Dict[int, int] = {}
+            for region_id, scanned, partial in outcomes:
+                partials.append(partial)
+                records[region_id] = scanned
+                try:
+                    result_sizes[region_id] = len(partial)
+                except TypeError:
+                    result_sizes[region_id] = 1  # scalar partial result
+                tasks.append(
+                    Task(
+                        region_id=region_id,
+                        records_scanned=scanned,
+                        results_returned=result_sizes[region_id],
+                        query_id=qi,
+                    )
+                )
+            per_request_partials.append(partials)
+            per_request_tasks.append(tasks)
+            per_request_records.append(records)
+            per_request_results.append(result_sizes)
+
+        timelines = self.simulation.run_queries(per_request_tasks)
+        results = []
+        for qi in range(len(requests)):
+            merged = coprocessor.merge(per_request_partials[qi])
+            results.append(
+                CoprocessorCallResult(
+                    result=merged,
+                    timeline=timelines[qi],
+                    per_region_records=per_request_records[qi],
+                    per_region_results=per_request_results[qi],
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------ admin
+
+    def flush_all(self) -> None:
+        for table in self._tables.values():
+            table.flush()
+
+    def compact_all(self) -> None:
+        for table in self._tables.values():
+            table.compact()
+
+    def fail_node(self, node_id: int) -> List[int]:
+        """Simulate a region-server death: the node's regions move to
+        the survivors and subsequent queries run at reduced capacity
+        (results stay exact — only latency degrades)."""
+        return self.simulation.fail_node(node_id)
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring a failed node back and rebalance regions onto it."""
+        self.simulation.recover_node(node_id)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown()
+
+    def describe(self) -> dict:
+        return {
+            "tables": {
+                name: len(table.regions) for name, table in self._tables.items()
+            },
+            "cluster": self.simulation.describe(),
+        }

@@ -1,0 +1,100 @@
+"""Region coprocessors.
+
+The paper's key query optimization (Section 2.2): "Each coprocessor is
+responsible for a region of the Visit Repository table ... multiple get
+requests are issued in parallel.  Increasing the regions number leads to
+increase in coprocessors number and thus achieves higher degree of
+parallelism within a single query."
+
+A :class:`Coprocessor` is an endpoint deployed on a table.  When the
+client invokes it, every region runs the endpoint *locally* against its
+own data through a :class:`CoprocessorContext`, and the client merges the
+per-region partial results.  The context records how many records the
+endpoint touched, which feeds the cluster cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..errors import CoprocessorError
+from .cell import Cell
+from .filters import ScanFilter
+from .region import Region
+
+
+class CoprocessorContext:
+    """Region-local view handed to a coprocessor endpoint.
+
+    Wraps the region's read API and counts touched records so the
+    simulation can charge the invocation's cost precisely.
+    """
+
+    def __init__(self, region: Region) -> None:
+        self._region = region
+        self.records_scanned = 0
+
+    @property
+    def region_id(self) -> int:
+        return self._region.region_id
+
+    @property
+    def start_key(self) -> Optional[bytes]:
+        return self._region.start_key
+
+    @property
+    def end_key(self) -> Optional[bytes]:
+        return self._region.end_key
+
+    def get(self, row: bytes, family: str, qualifier: bytes) -> Optional[bytes]:
+        """Region-local point get."""
+        self.records_scanned += 1
+        return self._region.get(row, family, qualifier)
+
+    def get_row(self, row: bytes, family: str) -> Dict[bytes, bytes]:
+        """Region-local whole-row get."""
+        values = self._region.get_row(row, family)
+        self.records_scanned += max(1, len(values))
+        return values
+
+    def scan(
+        self,
+        family: str,
+        start_row: Optional[bytes] = None,
+        stop_row: Optional[bytes] = None,
+        scan_filter: Optional[ScanFilter] = None,
+    ) -> Iterator[Cell]:
+        """Region-local filtered scan; every emitted cell is counted."""
+        for cell in self._region.scan(family, start_row, stop_row, scan_filter):
+            self.records_scanned += 1
+            yield cell
+
+    def contains_row(self, row: bytes) -> bool:
+        """True if this region owns ``row`` — endpoints use it to skip
+        get requests for keys another region serves."""
+        return self._region.contains_row(row)
+
+
+class Coprocessor:
+    """Base class for endpoint coprocessors.
+
+    Subclasses implement :meth:`run`, which receives the region context
+    plus the caller's request object and returns a serializable partial
+    result.  The client merges partials with :meth:`merge`.
+    """
+
+    name = "coprocessor"
+
+    def run(self, context: CoprocessorContext, request: Any) -> Any:
+        """Execute region-locally.  Must be overridden."""
+        raise CoprocessorError(
+            "%s does not implement run()" % type(self).__name__
+        )
+
+    def merge(self, partials: List[Any]) -> Any:
+        """Combine per-region partial results (default: concatenate lists)."""
+        merged: List[Any] = []
+        for partial in partials:
+            if partial:
+                merged.extend(partial)
+        return merged

@@ -1,0 +1,130 @@
+"""Server-side scan filters.
+
+HBase pushes filters to the region server so network traffic only carries
+qualifying cells; the coprocessor-based query path in the paper leans on
+the same idea ("eliminates the visits that do not satisfy the user
+defined criteria" inside each region).  Filters here mirror the common
+HBase filter classes the platform needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .bytes_util import next_prefix
+from .cell import Cell
+
+
+class ScanFilter:
+    """Base filter: accepts every cell and never narrows the scan range."""
+
+    def accept(self, cell: Cell) -> bool:
+        """Return True if the cell should be emitted."""
+        return True
+
+    def row_range(self) -> tuple:
+        """Optional ``(start_row, stop_row)`` narrowing the scan.
+
+        ``None`` in either slot means unbounded on that side.  The region
+        intersects this with the caller's explicit range, letting a
+        prefix filter turn a full scan into a short range scan.
+        """
+        return (None, None)
+
+
+class PrefixFilter(ScanFilter):
+    """Rows starting with a fixed byte prefix."""
+
+    def __init__(self, prefix: bytes) -> None:
+        self._prefix = prefix
+
+    def accept(self, cell: Cell) -> bool:
+        return cell.row.startswith(self._prefix)
+
+    def row_range(self) -> tuple:
+        stop = next_prefix(self._prefix)
+        return (self._prefix, stop if stop else None)
+
+
+class RowRangeFilter(ScanFilter):
+    """Rows in ``[start_row, stop_row)``."""
+
+    def __init__(
+        self, start_row: Optional[bytes], stop_row: Optional[bytes]
+    ) -> None:
+        self._start = start_row
+        self._stop = stop_row
+
+    def accept(self, cell: Cell) -> bool:
+        if self._start is not None and cell.row < self._start:
+            return False
+        if self._stop is not None and cell.row >= self._stop:
+            return False
+        return True
+
+    def row_range(self) -> tuple:
+        return (self._start, self._stop)
+
+
+class ColumnFilter(ScanFilter):
+    """Cells from a given family (and optionally one qualifier)."""
+
+    def __init__(self, family: str, qualifier: Optional[bytes] = None) -> None:
+        self._family = family
+        self._qualifier = qualifier
+
+    def accept(self, cell: Cell) -> bool:
+        if cell.family != self._family:
+            return False
+        if self._qualifier is not None and cell.qualifier != self._qualifier:
+            return False
+        return True
+
+
+class ValuePredicateFilter(ScanFilter):
+    """Cells whose decoded value satisfies an arbitrary predicate.
+
+    The predicate receives the raw value bytes; decoding stays the
+    caller's business so the filter makes no serialization assumptions.
+    """
+
+    def __init__(self, predicate: Callable) -> None:
+        self._predicate = predicate
+
+    def accept(self, cell: Cell) -> bool:
+        return bool(self._predicate(cell.value))
+
+
+class TimestampRangeFilter(ScanFilter):
+    """Cells whose version timestamp falls in ``[min_ts, max_ts)``."""
+
+    def __init__(self, min_ts: Optional[int], max_ts: Optional[int]) -> None:
+        self._min = min_ts
+        self._max = max_ts
+
+    def accept(self, cell: Cell) -> bool:
+        if self._min is not None and cell.timestamp < self._min:
+            return False
+        if self._max is not None and cell.timestamp >= self._max:
+            return False
+        return True
+
+
+class AndFilter(ScanFilter):
+    """Conjunction of filters; the row range is the ranges' intersection."""
+
+    def __init__(self, filters: Sequence[ScanFilter]) -> None:
+        self._filters = list(filters)
+
+    def accept(self, cell: Cell) -> bool:
+        return all(f.accept(cell) for f in self._filters)
+
+    def row_range(self) -> tuple:
+        start, stop = None, None
+        for f in self._filters:
+            f_start, f_stop = f.row_range()
+            if f_start is not None and (start is None or f_start > start):
+                start = f_start
+            if f_stop is not None and (stop is None or f_stop < stop):
+                stop = f_stop
+        return (start, stop)

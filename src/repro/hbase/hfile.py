@@ -1,0 +1,144 @@
+"""Immutable sorted store files — the on-disk half of the LSM tree."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Sequence
+
+from ..errors import StorageError
+from .cell import Cell
+
+
+class _BloomFilter:
+    """A small row-key Bloom filter, as HFiles carry.
+
+    Sized for ~1% false positives at the construction cardinality; lets
+    point gets skip files that cannot contain the row.
+    """
+
+    __slots__ = ("_bits", "_num_bits", "_num_hashes")
+
+    def __init__(self, expected_items: int) -> None:
+        expected_items = max(1, expected_items)
+        # ~9.6 bits/key gives ~1% FP with 7 hash functions.
+        self._num_bits = max(64, expected_items * 10)
+        self._num_hashes = 7
+        self._bits = bytearray((self._num_bits + 7) // 8)
+
+    def _positions(self, key: bytes) -> Iterator[int]:
+        h1 = hash(key)
+        h2 = hash(key + b"\x00salt")
+        for i in range(self._num_hashes):
+            yield (h1 + i * h2) % self._num_bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def might_contain(self, key: bytes) -> bool:
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+
+class StoreFile:
+    """An immutable, sorted run of cells produced by a memstore flush.
+
+    Carries a row-key Bloom filter and first/last row metadata so the
+    read path can skip irrelevant files, exactly as HFile does.
+    """
+
+    _next_id = 0
+
+    def __init__(self, cells: Sequence[Cell]) -> None:
+        cells = list(cells)
+        keys = [c.sort_key() for c in cells]
+        if keys != sorted(keys):
+            raise StorageError("store file cells must arrive sorted")
+        self._cells: List[Cell] = cells
+        self._keys = keys
+        self._bloom = _BloomFilter(len(cells))
+        for cell in cells:
+            self._bloom.add(cell.row)
+        self.first_row: Optional[bytes] = cells[0].row if cells else None
+        self.last_row: Optional[bytes] = cells[-1].row if cells else None
+        StoreFile._next_id += 1
+        self.file_id = StoreFile._next_id
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(c.approx_size() for c in self._cells)
+
+    def may_contain_row(self, row: bytes) -> bool:
+        """Cheap pre-check combining key-range and Bloom filter."""
+        if self.first_row is None:
+            return False
+        if row < self.first_row or (self.last_row is not None and row > self.last_row):
+            return False
+        return self._bloom.might_contain(row)
+
+    def overlaps_range(
+        self, start_row: Optional[bytes], stop_row: Optional[bytes]
+    ) -> bool:
+        if self.first_row is None:
+            return False
+        if stop_row is not None and self.first_row >= stop_row:
+            return False
+        if start_row is not None and self.last_row is not None:
+            if self.last_row < start_row:
+                return False
+        return True
+
+    def scan(
+        self,
+        start_row: Optional[bytes] = None,
+        stop_row: Optional[bytes] = None,
+    ) -> Iterator[Cell]:
+        """Yield cells with ``start_row <= row < stop_row`` in order."""
+        if not self.overlaps_range(start_row, stop_row):
+            return
+        lo = 0
+        if start_row is not None:
+            lo = bisect.bisect_left(self._keys, (start_row,))
+        for i in range(lo, len(self._cells)):
+            cell = self._cells[i]
+            if stop_row is not None and cell.row >= stop_row:
+                break
+            yield cell
+
+    def cells(self) -> List[Cell]:
+        return list(self._cells)
+
+
+def merge_sorted_runs(runs: Sequence[Sequence[Cell]]) -> List[Cell]:
+    """K-way merge of sorted cell runs into one sorted run.
+
+    Used by compaction and by the region read path.  Duplicate
+    coordinates+timestamp collapse to the cell from the *latest* run
+    (later runs are newer).
+    """
+    import heapq
+
+    merged: List[Cell] = []
+    heap = []
+    iters = [iter(run) for run in runs]
+    for run_idx, it in enumerate(iters):
+        first = next(it, None)
+        if first is not None:
+            # Later runs win ties -> use negative run index in the key.
+            heapq.heappush(heap, (first.sort_key(), -run_idx, first, run_idx))
+    while heap:
+        _key, _tie, cell, run_idx = heapq.heappop(heap)
+        if merged and merged[-1].sort_key() == cell.sort_key():
+            # Same coordinates+version: the earlier-popped (newer run,
+            # because of the tie-break) cell already won.
+            pass
+        else:
+            merged.append(cell)
+        nxt = next(iters[run_idx], None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt.sort_key(), -run_idx, nxt, run_idx))
+    return merged

@@ -1,0 +1,76 @@
+"""The in-memory, sorted write buffer of a region's column family."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional
+
+from .cell import Cell
+
+
+class MemStore:
+    """Sorted buffer of freshly-written cells.
+
+    Writes insert into a list kept sorted by KeyValue order via
+    ``bisect`` — O(log n) search plus O(n) shift, which on the memstore's
+    bounded size (it flushes at ``flush_threshold_bytes``) stays far from
+    quadratic in practice and keeps scans allocation-free.
+    """
+
+    def __init__(self, flush_threshold_bytes: int = 4 * 1024 * 1024) -> None:
+        self._cells: List[Cell] = []
+        self._keys: List[tuple] = []
+        self._size_bytes = 0
+        self.flush_threshold_bytes = flush_threshold_bytes
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    @property
+    def should_flush(self) -> bool:
+        return self._size_bytes >= self.flush_threshold_bytes
+
+    def put(self, cell: Cell) -> None:
+        """Insert a cell, keeping KeyValue order.
+
+        A cell with identical coordinates *and* timestamp replaces the
+        previous one (HBase's last-write-wins for same-version puts).
+        """
+        key = cell.sort_key()
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            self._size_bytes -= self._cells[idx].approx_size()
+            self._cells[idx] = cell
+            self._size_bytes += cell.approx_size()
+            return
+        self._keys.insert(idx, key)
+        self._cells.insert(idx, cell)
+        self._size_bytes += cell.approx_size()
+
+    def scan(
+        self,
+        start_row: Optional[bytes] = None,
+        stop_row: Optional[bytes] = None,
+    ) -> Iterator[Cell]:
+        """Yield cells with ``start_row <= row < stop_row`` in order."""
+        lo = 0
+        if start_row is not None:
+            lo = bisect.bisect_left(self._keys, (start_row,))
+        for i in range(lo, len(self._cells)):
+            cell = self._cells[i]
+            if stop_row is not None and cell.row >= stop_row:
+                break
+            yield cell
+
+    def snapshot(self) -> List[Cell]:
+        """The sorted cell list, for flushing into a store file."""
+        return list(self._cells)
+
+    def clear(self) -> None:
+        self._cells = []
+        self._keys = []
+        self._size_bytes = 0

@@ -1,0 +1,419 @@
+"""A region: one contiguous row-key range of a table.
+
+Regions are HBase's unit of distribution and of coprocessor execution.
+Each region owns a memstore + store files per column family and serves
+gets, puts, deletes and filtered scans over its ``[start_key, end_key)``
+slice of the table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..errors import ColumnFamilyNotFoundError, StorageError
+from .cell import Cell
+from .filters import ScanFilter
+from .hfile import StoreFile, merge_sorted_runs
+from .memstore import MemStore
+from .wal import WriteAheadLog
+
+_region_ids = itertools.count()
+
+
+class Region:
+    """One shard of a table, spanning ``[start_key, end_key)``.
+
+    ``start_key=None`` means "from the beginning of the key space";
+    ``end_key=None`` means "to the end".
+    """
+
+    def __init__(
+        self,
+        families: Sequence[str],
+        start_key: Optional[bytes] = None,
+        end_key: Optional[bytes] = None,
+        flush_threshold_bytes: int = 4 * 1024 * 1024,
+        wal: Optional["WriteAheadLog"] = None,
+        minor_compaction_threshold: int = 0,
+    ) -> None:
+        if not families:
+            raise StorageError("a region needs at least one column family")
+        self.region_id = next(_region_ids)
+        self.start_key = start_key
+        self.end_key = end_key
+        self.families = list(families)
+        self._flush_threshold = flush_threshold_bytes
+        self._memstores: Dict[str, MemStore] = {
+            f: MemStore(flush_threshold_bytes) for f in families
+        }
+        self._store_files: Dict[str, List[StoreFile]] = {f: [] for f in families}
+        #: Monotonic per-region write counter; doubles as a version
+        #: tie-breaker when callers put twice at the same timestamp.
+        self.write_count = 0
+        #: Optional durability log: every put is appended before it is
+        #: applied; a full flush lets the log truncate (see recover()).
+        self.wal = wal
+        #: Store files per family before a minor compaction triggers
+        #: (0 disables automatic minor compaction).
+        self.minor_compaction_threshold = minor_compaction_threshold
+        #: Per-family TTL horizon: cells with ``timestamp < cutoff`` are
+        #: invisible to reads and dropped by major compaction (HBase's
+        #: column-family TTL, driven by explicit application time since
+        #: the store has no wall clock).
+        self._ttl_cutoff: Dict[str, int] = {}
+
+    # ----------------------------------------------------------- routing
+
+    def contains_row(self, row: bytes) -> bool:
+        if self.start_key is not None and row < self.start_key:
+            return False
+        if self.end_key is not None and row >= self.end_key:
+            return False
+        return True
+
+    def _memstore(self, family: str) -> MemStore:
+        try:
+            return self._memstores[family]
+        except KeyError:
+            raise ColumnFamilyNotFoundError(
+                "family %r not declared (have %s)" % (family, self.families)
+            ) from None
+
+    # ------------------------------------------------------------ writes
+
+    def put(self, cell: Cell) -> None:
+        """Write one cell; flushes the family's memstore when full.
+
+        With a WAL attached, the cell reaches the log *before* the
+        memstore — the ordering crash recovery depends on.
+        """
+        if not self.contains_row(cell.row):
+            raise StorageError(
+                "row %r outside region range [%r, %r)"
+                % (cell.row, self.start_key, self.end_key)
+            )
+        if self.wal is not None:
+            self.wal.append(cell)
+        store = self._memstore(cell.family)
+        store.put(cell)
+        self.write_count += 1
+        if store.should_flush:
+            self.flush(cell.family)
+
+    def delete(self, row: bytes, family: str, qualifier: bytes, timestamp: int) -> None:
+        """Write a tombstone shadowing versions up to ``timestamp``."""
+        self.put(
+            Cell(
+                row=row,
+                family=family,
+                qualifier=qualifier,
+                timestamp=timestamp,
+                is_delete=True,
+            )
+        )
+
+    def flush(self, family: Optional[str] = None) -> None:
+        """Freeze memstore contents into a new immutable store file.
+
+        A *full* flush (no family argument) leaves nothing unflushed, so
+        the WAL — if attached — can truncate everything logged so far.
+        """
+        targets = [family] if family else self.families
+        for fam in targets:
+            store = self._memstore(fam)
+            if len(store) == 0:
+                continue
+            self._store_files[fam].append(StoreFile(store.snapshot()))
+            store.clear()
+            if (
+                self.minor_compaction_threshold > 0
+                and len(self._store_files[fam]) >= self.minor_compaction_threshold
+            ):
+                self.minor_compact(fam)
+        if family is None and self.wal is not None:
+            self.wal.truncate_to(self.wal.last_sequence)
+
+    def minor_compact(self, family: str) -> None:
+        """Size-tiered minor compaction: merge this family's store files
+        into one run *without* dropping tombstones or old versions —
+        deletes must survive until a major compaction, because an older
+        shadowed put may still sit in another (future) file."""
+        files = self._store_files[family]
+        if len(files) <= 1:
+            return
+        merged = merge_sorted_runs([sf.cells() for sf in files])
+        self._store_files[family] = [StoreFile(merged)]
+
+    @classmethod
+    def recover(
+        cls,
+        wal: "WriteAheadLog",
+        families: Sequence[str],
+        start_key: Optional[bytes] = None,
+        end_key: Optional[bytes] = None,
+        **kwargs,
+    ) -> "Region":
+        """Rebuild a crashed region's unflushed state by replaying its WAL.
+
+        Only cells still in the log are replayed — flushed cells were
+        truncated away and live in store files, which a real deployment
+        would reopen from disk; callers re-attach them via
+        :meth:`adopt_store_files`.
+        """
+        region = cls(
+            families=families, start_key=start_key, end_key=end_key,
+            wal=wal, **kwargs,
+        )
+        for cell in wal.replay():
+            store = region._memstore(cell.family)
+            store.put(cell)
+            region.write_count += 1
+        return region
+
+    def adopt_store_files(self, family: str, files: List[StoreFile]) -> None:
+        """Attach surviving on-disk store files during recovery."""
+        self._store_files[family] = list(files) + self._store_files[family]
+
+    def compact(self, family: Optional[str] = None) -> None:
+        """Major compaction: merge all runs, apply tombstones, keep only
+        the newest version of each cell."""
+        targets = [family] if family else self.families
+        for fam in targets:
+            runs: List[List[Cell]] = [sf.cells() for sf in self._store_files[fam]]
+            runs.append(self._memstore(fam).snapshot())
+            merged = merge_sorted_runs(runs)
+            survivors: List[Cell] = []
+            last_coords = None
+            newest_delete_ts = -1
+            for cell in merged:  # newest version first per coordinates
+                if self._expired(cell):
+                    continue
+                coords = cell.coordinates()
+                if coords != last_coords:
+                    last_coords = coords
+                    newest_delete_ts = -1
+                if cell.is_delete:
+                    newest_delete_ts = max(newest_delete_ts, cell.timestamp)
+                    continue
+                if cell.timestamp <= newest_delete_ts:
+                    continue
+                if survivors and survivors[-1].coordinates() == coords:
+                    continue  # older version of an already-kept cell
+                survivors.append(cell)
+            self._memstore(fam).clear()
+            self._store_files[fam] = [StoreFile(survivors)] if survivors else []
+
+    # ------------------------------------------------------------- reads
+
+    def set_ttl_cutoff(self, family: str, cutoff_ts: int) -> None:
+        """Expire every cell of ``family`` older than ``cutoff_ts``.
+
+        Reads become TTL-aware immediately; storage is reclaimed at the
+        next major compaction.
+        """
+        self._memstore(family)  # validates the family
+        previous = self._ttl_cutoff.get(family, 0)
+        self._ttl_cutoff[family] = max(previous, cutoff_ts)
+
+    def _expired(self, cell: Cell) -> bool:
+        return cell.timestamp < self._ttl_cutoff.get(cell.family, 0)
+
+    def get(self, row: bytes, family: str, qualifier: bytes) -> Optional[bytes]:
+        """Latest live value of one cell, or None."""
+        best: Optional[Cell] = None
+        delete_ts = -1
+        for cell in self._iter_row(row, family):
+            if cell.qualifier != qualifier or self._expired(cell):
+                continue
+            if cell.is_delete:
+                delete_ts = max(delete_ts, cell.timestamp)
+            elif best is None or cell.timestamp > best.timestamp:
+                best = cell
+        if best is None or best.timestamp <= delete_ts:
+            return None
+        return best.value
+
+    def get_row(self, row: bytes, family: str) -> Dict[bytes, bytes]:
+        """All live qualifiers of a row in a family, newest versions."""
+        newest: Dict[bytes, Cell] = {}
+        deletes: Dict[bytes, int] = {}
+        for cell in self._iter_row(row, family):
+            if self._expired(cell):
+                continue
+            if cell.is_delete:
+                prev = deletes.get(cell.qualifier, -1)
+                deletes[cell.qualifier] = max(prev, cell.timestamp)
+            else:
+                kept = newest.get(cell.qualifier)
+                if kept is None or cell.timestamp > kept.timestamp:
+                    newest[cell.qualifier] = cell
+        return {
+            q: c.value
+            for q, c in newest.items()
+            if c.timestamp > deletes.get(q, -1)
+        }
+
+    def get_versions(
+        self,
+        row: bytes,
+        family: str,
+        qualifier: bytes,
+        max_versions: int = 3,
+        min_ts: Optional[int] = None,
+        max_ts: Optional[int] = None,
+    ) -> List[Cell]:
+        """Up to ``max_versions`` live versions of one cell, newest
+        first, optionally restricted to versions in ``[min_ts, max_ts)``
+        (HBase's ``Get.setMaxVersions`` + ``setTimeRange``)."""
+        if max_versions < 1:
+            raise StorageError("max_versions must be >= 1")
+        delete_ts = -1
+        versions: List[Cell] = []
+        for cell in self._iter_row(row, family):
+            if cell.qualifier != qualifier or self._expired(cell):
+                continue
+            if cell.is_delete:
+                delete_ts = max(delete_ts, cell.timestamp)
+            else:
+                versions.append(cell)
+        versions = [c for c in versions if c.timestamp > delete_ts]
+        if min_ts is not None:
+            versions = [c for c in versions if c.timestamp >= min_ts]
+        if max_ts is not None:
+            versions = [c for c in versions if c.timestamp < max_ts]
+        # Newest first; drop duplicate timestamps (same-version rewrite).
+        versions.sort(key=lambda c: -c.timestamp)
+        deduped: List[Cell] = []
+        for cell in versions:
+            if deduped and deduped[-1].timestamp == cell.timestamp:
+                continue
+            deduped.append(cell)
+        return deduped[:max_versions]
+
+    def check_and_put(
+        self,
+        row: bytes,
+        family: str,
+        qualifier: bytes,
+        expected: Optional[bytes],
+        cell: Cell,
+    ) -> bool:
+        """Atomic conditional write (HBase's ``checkAndPut``).
+
+        Applies ``cell`` only if the current value of
+        ``(row, family, qualifier)`` equals ``expected`` (``None`` means
+        "the cell must not exist").  Returns whether the put happened.
+        The in-process store is single-writer per region, so read-then-
+        write here is atomic by construction.
+        """
+        current = self.get(row, family, qualifier)
+        if current != expected:
+            return False
+        self.put(cell)
+        return True
+
+    def mutate_batch(self, cells: Sequence[Cell]) -> int:
+        """Apply a batch of puts as one unit (HBase's ``batch``).
+
+        All-or-nothing against *validation*: every cell is range-checked
+        before any write is applied, so a bad row key cannot leave the
+        batch half-applied.  Returns the number of cells written.
+        """
+        for cell in cells:
+            if not self.contains_row(cell.row):
+                raise StorageError(
+                    "row %r outside region range [%r, %r)"
+                    % (cell.row, self.start_key, self.end_key)
+                )
+        for cell in cells:
+            self.put(cell)
+        return len(cells)
+
+    def _iter_row(self, row: bytes, family: str) -> Iterator[Cell]:
+        from .bytes_util import next_prefix
+
+        stop = next_prefix(row)
+        stop_row = stop if stop else None
+        store = self._memstore(family)
+        yield from (c for c in store.scan(row, stop_row) if c.row == row)
+        for sf in self._store_files[family]:
+            if not sf.may_contain_row(row):
+                continue
+            yield from (c for c in sf.scan(row, stop_row) if c.row == row)
+
+    def scan(
+        self,
+        family: str,
+        start_row: Optional[bytes] = None,
+        stop_row: Optional[bytes] = None,
+        scan_filter: Optional[ScanFilter] = None,
+    ) -> Iterator[Cell]:
+        """Merged, filtered scan over ``[start_row, stop_row)``.
+
+        Emits only the newest live version of each cell, in KeyValue
+        order, after applying the filter — the same contract a region
+        server gives its scanners.
+        """
+        if scan_filter is not None:
+            f_start, f_stop = scan_filter.row_range()
+            if f_start is not None and (start_row is None or f_start > start_row):
+                start_row = f_start
+            if f_stop is not None and (stop_row is None or f_stop < stop_row):
+                stop_row = f_stop
+        # Clamp to the region's own range.
+        if self.start_key is not None and (
+            start_row is None or start_row < self.start_key
+        ):
+            start_row = self.start_key
+        if self.end_key is not None and (stop_row is None or stop_row > self.end_key):
+            stop_row = self.end_key
+
+        runs = [list(self._memstore(family).scan(start_row, stop_row))]
+        for sf in self._store_files[family]:
+            if sf.overlaps_range(start_row, stop_row):
+                runs.append(list(sf.scan(start_row, stop_row)))
+        # Reverse so that memstore (newest) is the *last* run and wins
+        # merge ties; merge_sorted_runs prefers later runs on ties.
+        merged = merge_sorted_runs(list(reversed(runs)))
+
+        last_coords = None
+        delete_ts = -1
+        for cell in merged:
+            if self._expired(cell):
+                continue
+            coords = cell.coordinates()
+            if coords != last_coords:
+                last_coords = coords
+                delete_ts = -1
+                emitted = False
+            else:
+                emitted = True
+            if cell.is_delete:
+                delete_ts = max(delete_ts, cell.timestamp)
+                continue
+            if emitted or cell.timestamp <= delete_ts:
+                continue
+            if scan_filter is not None and not scan_filter.accept(cell):
+                # Newest version rejected by filter: do not fall back to
+                # older versions — they are shadowed.
+                continue
+            yield cell
+
+    # ------------------------------------------------------------ sizing
+
+    def approx_rows(self, family: str) -> int:
+        """Approximate live-cell count (pre-compaction upper bound)."""
+        total = len(self._memstore(family))
+        total += sum(len(sf) for sf in self._store_files[family])
+        return total
+
+    def store_file_count(self, family: str) -> int:
+        return len(self._store_files[family])
+
+    def __repr__(self) -> str:
+        return "Region(id=%d, range=[%r, %r))" % (
+            self.region_id,
+            self.start_key,
+            self.end_key,
+        )

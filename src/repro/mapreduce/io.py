@@ -1,0 +1,43 @@
+"""Input splits: how a job's input is carved up for mappers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+from ..errors import MapReduceError
+
+
+@dataclass
+class InputSplit:
+    """One mapper's slice of the input."""
+
+    split_id: int
+    records: List[Any]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def make_splits(records: Sequence[Any], num_splits: int) -> List[InputSplit]:
+    """Divide ``records`` into up to ``num_splits`` contiguous splits.
+
+    Contiguity matters: jobs whose input is pre-sorted (e.g. HBase scans)
+    keep key locality inside a split, which makes combiners effective.
+    Fewer splits are returned when there are fewer records than splits.
+    """
+    if num_splits < 1:
+        raise MapReduceError("num_splits must be >= 1, got %r" % num_splits)
+    records = list(records)
+    if not records:
+        return []
+    num_splits = min(num_splits, len(records))
+    base = len(records) // num_splits
+    extra = len(records) % num_splits
+    splits: List[InputSplit] = []
+    start = 0
+    for i in range(num_splits):
+        size = base + (1 if i < extra else 0)
+        splits.append(InputSplit(split_id=i, records=records[start : start + size]))
+        start += size
+    return splits

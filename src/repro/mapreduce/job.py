@@ -1,0 +1,76 @@
+"""Job specification and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import MapReduceError
+from .partitioner import HashPartitioner
+
+
+class Counters:
+    """Hadoop-style job counters, aggregated across tasks."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._counts.items():
+            self.increment(name, value)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+
+@dataclass
+class MapReduceJob:
+    """A job: map over records, optionally combine, partition, reduce.
+
+    ``mapper(record, emit, counters)`` calls ``emit(key, value)`` any
+    number of times.  ``reducer(key, values, emit, counters)`` receives
+    all values for its key.  ``combiner`` has the reducer signature and
+    runs on each mapper's local output — it must be algebraically safe to
+    apply repeatedly (sums, mins, maxes).
+    """
+
+    name: str
+    mapper: Callable
+    reducer: Callable
+    combiner: Optional[Callable] = None
+    partitioner: Any = field(default_factory=HashPartitioner)
+    num_reducers: int = 4
+    num_mappers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise MapReduceError("num_reducers must be >= 1")
+        if self.num_mappers < 1:
+            raise MapReduceError("num_mappers must be >= 1")
+
+
+@dataclass
+class JobResult:
+    """Output pairs plus counters and task statistics."""
+
+    job_name: str
+    pairs: List[Tuple[Any, Any]]
+    counters: Counters
+    map_tasks: int
+    reduce_tasks: int
+
+    def as_dict(self) -> Dict[Any, Any]:
+        """Output as a dict — valid when keys are unique (one reducer
+        emit per key), which all platform jobs guarantee."""
+        out = dict(self.pairs)
+        if len(out) != len(self.pairs):
+            raise MapReduceError(
+                "job %r emitted duplicate keys; use .pairs" % self.job_name
+            )
+        return out

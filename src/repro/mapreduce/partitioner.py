@@ -1,0 +1,47 @@
+"""Partitioners: route intermediate keys to reducers."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Sequence
+
+from ..errors import MapReduceError
+
+
+class HashPartitioner:
+    """Hadoop's default: ``hash(key) mod num_reducers``.
+
+    Python's ``hash`` is salted per-process for str/bytes, which would
+    make reducer assignment non-deterministic across runs; a small FNV-1a
+    keeps the choice stable, which tests rely on.
+    """
+
+    def partition(self, key: Any, num_reducers: int) -> int:
+        if num_reducers < 1:
+            raise MapReduceError("num_reducers must be >= 1")
+        return self._fnv(repr(key).encode("utf-8")) % num_reducers
+
+    @staticmethod
+    def _fnv(data: bytes) -> int:
+        h = 0xCBF29CE484222325
+        for byte in data:
+            h ^= byte
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return h
+
+
+class RangePartitioner:
+    """Routes keys by sorted boundary points — total-order partitioning.
+
+    Used by jobs whose reducers must receive contiguous key ranges, such
+    as the MR-DBSCAN merge step (cluster ids are grid-cell ordered).
+    """
+
+    def __init__(self, boundaries: Sequence[Any]) -> None:
+        self._boundaries: List[Any] = list(boundaries)
+        if self._boundaries != sorted(self._boundaries):
+            raise MapReduceError("range boundaries must be sorted")
+
+    def partition(self, key: Any, num_reducers: int) -> int:
+        idx = bisect.bisect_right(self._boundaries, key)
+        return min(idx, num_reducers - 1)

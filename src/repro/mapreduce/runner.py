@@ -1,0 +1,126 @@
+"""Job execution: map → combine → shuffle → sort → reduce."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..cluster import ParallelExecutor
+from ..errors import MapReduceError
+from .io import InputSplit, make_splits
+from .job import Counters, JobResult, MapReduceJob
+
+
+class JobRunner:
+    """Runs jobs with map/reduce tasks on a shared thread pool.
+
+    ``max_workers`` models the Hadoop cluster's task slots; the paper's
+    batch tier shares machines with HBase, so platform code sizes it
+    from the same :class:`~repro.config.ClusterConfig`.
+    """
+
+    def __init__(self, max_workers: int = 8) -> None:
+        self._executor = ParallelExecutor(max_workers=max_workers)
+
+    def run(self, job: MapReduceJob, records: Sequence[Any]) -> JobResult:
+        """Execute one job over ``records`` and return its output."""
+        splits = make_splits(records, job.num_mappers)
+        counters = Counters()
+        if not splits:
+            return JobResult(
+                job_name=job.name,
+                pairs=[],
+                counters=counters,
+                map_tasks=0,
+                reduce_tasks=0,
+            )
+
+        # ---- map phase (parallel over splits)
+        map_outputs = self._executor.map_ordered(
+            lambda split: self._run_map_task(job, split), splits
+        )
+
+        # ---- shuffle: group by reducer partition, then by key
+        partitions: List[Dict[Any, List[Any]]] = [
+            {} for _ in range(job.num_reducers)
+        ]
+        for task_pairs, task_counters in map_outputs:
+            counters.merge(task_counters)
+            for key, value in task_pairs:
+                idx = job.partitioner.partition(key, job.num_reducers)
+                partitions[idx].setdefault(key, []).append(value)
+
+        # ---- reduce phase (parallel over non-empty partitions)
+        busy = [(i, p) for i, p in enumerate(partitions) if p]
+        reduce_outputs = self._executor.map_ordered(
+            lambda item: self._run_reduce_task(job, item[1]), busy
+        )
+
+        pairs: List[Tuple[Any, Any]] = []
+        for task_pairs, task_counters in reduce_outputs:
+            counters.merge(task_counters)
+            pairs.extend(task_pairs)
+        # Deterministic output order regardless of scheduling.
+        pairs.sort(key=lambda kv: repr(kv[0]))
+
+        return JobResult(
+            job_name=job.name,
+            pairs=pairs,
+            counters=counters,
+            map_tasks=len(splits),
+            reduce_tasks=len(busy),
+        )
+
+    # ------------------------------------------------------------- tasks
+
+    @staticmethod
+    def _run_map_task(job: MapReduceJob, split: InputSplit):
+        counters = Counters()
+        out: List[Tuple[Any, Any]] = []
+
+        def emit(key: Any, value: Any) -> None:
+            out.append((key, value))
+
+        for record in split.records:
+            job.mapper(record, emit, counters)
+            counters.increment("map.records_in")
+        counters.increment("map.records_out", len(out))
+
+        if job.combiner is not None:
+            grouped: Dict[Any, List[Any]] = {}
+            for key, value in out:
+                grouped.setdefault(key, []).append(value)
+            combined: List[Tuple[Any, Any]] = []
+
+            def emit_combined(key: Any, value: Any) -> None:
+                combined.append((key, value))
+
+            for key, values in grouped.items():
+                job.combiner(key, values, emit_combined, counters)
+            counters.increment("combine.records_out", len(combined))
+            out = combined
+
+        return out, counters
+
+    @staticmethod
+    def _run_reduce_task(job: MapReduceJob, grouped: Dict[Any, List[Any]]):
+        counters = Counters()
+        out: List[Tuple[Any, Any]] = []
+
+        def emit(key: Any, value: Any) -> None:
+            out.append((key, value))
+
+        # Hadoop presents keys to a reducer in sorted order.
+        for key in sorted(grouped, key=repr):
+            job.reducer(key, grouped[key], emit, counters)
+            counters.increment("reduce.keys_in")
+        counters.increment("reduce.records_out", len(out))
+        return out, counters
+
+    def shutdown(self) -> None:
+        self._executor.shutdown()
+
+    def __enter__(self) -> "JobRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

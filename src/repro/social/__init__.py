@@ -1,0 +1,35 @@
+"""Social-network substrate.
+
+The real platform talks to Facebook, Twitter and Foursquare through
+their OAuth-protected APIs.  This package provides the same plugin
+surface over deterministic synthetic networks: friend graphs, check-ins
+with comments, and status updates — everything the Data Collection
+Module consumes.
+"""
+
+from .graph import SocialGraph
+from .networks import (
+    SocialNetworkPlugin,
+    SimulatedNetwork,
+    CheckIn,
+    StatusUpdate,
+    FriendInfo,
+    NETWORK_FACEBOOK,
+    NETWORK_TWITTER,
+    NETWORK_FOURSQUARE,
+)
+from .oauth import OAuthProvider, AccessToken
+
+__all__ = [
+    "SocialGraph",
+    "SocialNetworkPlugin",
+    "SimulatedNetwork",
+    "CheckIn",
+    "StatusUpdate",
+    "FriendInfo",
+    "NETWORK_FACEBOOK",
+    "NETWORK_TWITTER",
+    "NETWORK_FOURSQUARE",
+    "OAuthProvider",
+    "AccessToken",
+]

@@ -1,0 +1,109 @@
+"""Undirected friendship graphs."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Set
+
+from ..errors import ValidationError
+
+
+class SocialGraph:
+    """An undirected graph of user ids with friendship edges.
+
+    Provides the generation models the synthetic workload needs: an
+    Erdős–Rényi-style random graph for uniformity and a preferential-
+    attachment model for realistic degree skew (a few hub users with
+    thousands of friends, matching the paper's 500–10000-friend sweeps).
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[int, Set[int]] = {}
+
+    def add_user(self, user_id: int) -> None:
+        self._adj.setdefault(user_id, set())
+
+    def add_friendship(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValidationError("a user cannot befriend themselves")
+        self._adj.setdefault(a, set()).add(b)
+        self._adj.setdefault(b, set()).add(a)
+
+    def remove_friendship(self, a: int, b: int) -> None:
+        self._adj.get(a, set()).discard(b)
+        self._adj.get(b, set()).discard(a)
+
+    def friends_of(self, user_id: int) -> List[int]:
+        return sorted(self._adj.get(user_id, ()))
+
+    def are_friends(self, a: int, b: int) -> bool:
+        return b in self._adj.get(a, ())
+
+    def degree(self, user_id: int) -> int:
+        return len(self._adj.get(user_id, ()))
+
+    def users(self) -> List[int]:
+        return sorted(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        return sum(len(friends) for friends in self._adj.values()) // 2
+
+    # -------------------------------------------------------- generators
+
+    @classmethod
+    def random_uniform(
+        cls, user_ids: Iterable[int], mean_degree: float, seed: int = 2015
+    ) -> "SocialGraph":
+        """G(n, p)-style graph with expected degree ``mean_degree``.
+
+        Edges are sampled by pairing each user with ``mean_degree/2``
+        uniformly-random partners, which hits the target mean without
+        touching all O(n^2) pairs.
+        """
+        rng = random.Random(seed)
+        graph = cls()
+        ids = list(user_ids)
+        for uid in ids:
+            graph.add_user(uid)
+        if len(ids) < 2:
+            return graph
+        half = mean_degree / 2.0
+        for uid in ids:
+            count = int(half) + (1 if rng.random() < (half - int(half)) else 0)
+            for _ in range(count):
+                other = rng.choice(ids)
+                if other != uid:
+                    graph.add_friendship(uid, other)
+        return graph
+
+    @classmethod
+    def preferential_attachment(
+        cls, user_ids: Iterable[int], edges_per_user: int = 5, seed: int = 2015
+    ) -> "SocialGraph":
+        """Barabási–Albert-style graph: heavy-tailed degrees."""
+        rng = random.Random(seed)
+        graph = cls()
+        ids = list(user_ids)
+        if not ids:
+            return graph
+        for uid in ids:
+            graph.add_user(uid)
+        targets: List[int] = []  # repeated by degree -> preferential pick
+        seed_size = min(len(ids), edges_per_user + 1)
+        for i in range(seed_size):
+            for j in range(i + 1, seed_size):
+                graph.add_friendship(ids[i], ids[j])
+                targets.extend((ids[i], ids[j]))
+        for uid in ids[seed_size:]:
+            chosen: Set[int] = set()
+            while len(chosen) < min(edges_per_user, seed_size):
+                pick = rng.choice(targets) if targets else rng.choice(ids)
+                if pick != uid:
+                    chosen.add(pick)
+            for other in chosen:
+                graph.add_friendship(uid, other)
+                targets.extend((uid, other))
+        return graph

@@ -1,0 +1,203 @@
+"""Simulated social networks behind the plugin interface.
+
+MoDisSENSE "can be extended to more platforms with the appropriate
+plugin implementation" (paper Section 1).  :class:`SocialNetworkPlugin`
+is that interface; :class:`SimulatedNetwork` is the deterministic
+implementation the reproduction uses for Facebook, Twitter and
+Foursquare alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import PluginError
+from .graph import SocialGraph
+from .oauth import AccessToken, OAuthProvider
+
+NETWORK_FACEBOOK = "facebook"
+NETWORK_TWITTER = "twitter"
+NETWORK_FOURSQUARE = "foursquare"
+
+
+@dataclass(frozen=True)
+class FriendInfo:
+    """What the Social Info Repository stores per friend: the unique
+    social-network id, the name and the profile picture (Section 2.1)."""
+
+    network_user_id: str
+    name: str
+    picture_url: str
+
+
+@dataclass(frozen=True)
+class CheckIn:
+    """A visit event published on a social network."""
+
+    network_user_id: str
+    poi_id: int
+    lat: float
+    lon: float
+    timestamp: int
+    comment: str = ""
+
+
+@dataclass(frozen=True)
+class StatusUpdate:
+    """A plain status update (tweet, post)."""
+
+    network_user_id: str
+    timestamp: int
+    text: str
+
+
+class SocialNetworkPlugin:
+    """The contract a network integration must satisfy.
+
+    All reads take a validated :class:`AccessToken` so the plugin can
+    enforce that the platform only sees data the user authorized.
+    """
+
+    name = "abstract"
+
+    def get_profile(self, token: AccessToken) -> FriendInfo:
+        raise PluginError("%s does not implement get_profile" % self.name)
+
+    def get_friends(self, token: AccessToken) -> List[FriendInfo]:
+        raise PluginError("%s does not implement get_friends" % self.name)
+
+    def get_checkins(
+        self, token: AccessToken, user_id: str, since: int, until: int
+    ) -> List[CheckIn]:
+        raise PluginError("%s does not implement get_checkins" % self.name)
+
+    def get_status_updates(
+        self, token: AccessToken, user_id: str, since: int, until: int
+    ) -> List[StatusUpdate]:
+        raise PluginError("%s does not implement get_status_updates" % self.name)
+
+    def publish(self, token: AccessToken, text: str) -> None:
+        raise PluginError("%s does not implement publish" % self.name)
+
+
+class SimulatedNetwork(SocialNetworkPlugin):
+    """A deterministic in-memory social network.
+
+    Content (friendships, check-ins, statuses) is loaded up front by the
+    data generators; read methods then behave like the real API:
+    token-gated, friend-visibility-checked, time-windowed.
+    """
+
+    def __init__(self, name: str, oauth: Optional[OAuthProvider] = None) -> None:
+        self.name = name
+        self.oauth = oauth or OAuthProvider(name)
+        self.graph = SocialGraph()
+        self._profiles: Dict[str, FriendInfo] = {}
+        self._checkins: Dict[str, List[CheckIn]] = {}
+        self._statuses: Dict[str, List[StatusUpdate]] = {}
+        self._published: List[StatusUpdate] = []
+
+    # ------------------------------------------------------- population
+
+    def add_profile(self, profile: FriendInfo, password: str = "pw") -> None:
+        self._profiles[profile.network_user_id] = profile
+        self.graph.add_user(self._numeric(profile.network_user_id))
+        self.oauth.register_user(profile.network_user_id, password)
+
+    def add_friendship(self, a: str, b: str) -> None:
+        self.graph.add_friendship(self._numeric(a), self._numeric(b))
+
+    def add_checkin(self, checkin: CheckIn) -> None:
+        self._checkins.setdefault(checkin.network_user_id, []).append(checkin)
+
+    def add_status(self, status: StatusUpdate) -> None:
+        self._statuses.setdefault(status.network_user_id, []).append(status)
+
+    @staticmethod
+    def _numeric(network_user_id: str) -> int:
+        """Stable numeric id used by the graph: the trailing digits of the
+        network id (the generators mint ids like ``fb_123``)."""
+        digits = "".join(ch for ch in network_user_id if ch.isdigit())
+        if not digits:
+            raise PluginError(
+                "network user ids must embed a numeric id, got %r"
+                % network_user_id
+            )
+        return int(digits)
+
+    def _id_for_numeric(self, numeric: int) -> Optional[str]:
+        for network_user_id in self._profiles:
+            if self._numeric(network_user_id) == numeric:
+                return network_user_id
+        return None
+
+    # ------------------------------------------------------------ reads
+
+    def _check_visibility(self, token: AccessToken, user_id: str) -> None:
+        """The platform may read a user's own data or their friends'."""
+        if token.network != self.name:
+            raise PluginError(
+                "token for network %r used against %r"
+                % (token.network, self.name)
+            )
+        if user_id == token.network_user_id:
+            return
+        if not self.graph.are_friends(
+            self._numeric(token.network_user_id), self._numeric(user_id)
+        ):
+            raise PluginError(
+                "%r is not a friend of %r on %s"
+                % (user_id, token.network_user_id, self.name)
+            )
+
+    def get_profile(self, token: AccessToken) -> FriendInfo:
+        profile = self._profiles.get(token.network_user_id)
+        if profile is None:
+            raise PluginError(
+                "no %s profile for %r" % (self.name, token.network_user_id)
+            )
+        return profile
+
+    def get_friends(self, token: AccessToken) -> List[FriendInfo]:
+        numeric = self._numeric(token.network_user_id)
+        out = []
+        for friend_numeric in self.graph.friends_of(numeric):
+            friend_id = self._id_for_numeric(friend_numeric)
+            if friend_id is not None and friend_id in self._profiles:
+                out.append(self._profiles[friend_id])
+        return out
+
+    def get_checkins(
+        self, token: AccessToken, user_id: str, since: int, until: int
+    ) -> List[CheckIn]:
+        self._check_visibility(token, user_id)
+        return [
+            c
+            for c in self._checkins.get(user_id, [])
+            if since <= c.timestamp < until
+        ]
+
+    def get_status_updates(
+        self, token: AccessToken, user_id: str, since: int, until: int
+    ) -> List[StatusUpdate]:
+        self._check_visibility(token, user_id)
+        return [
+            s
+            for s in self._statuses.get(user_id, [])
+            if since <= s.timestamp < until
+        ]
+
+    def publish(self, token: AccessToken, text: str) -> None:
+        """Post on the user's behalf (blog sharing, Section 1)."""
+        self._published.append(
+            StatusUpdate(
+                network_user_id=token.network_user_id,
+                timestamp=int(token.issued_at),
+                text=text,
+            )
+        )
+
+    @property
+    def published(self) -> List[StatusUpdate]:
+        return list(self._published)

@@ -1,0 +1,62 @@
+"""A small relational engine standing in for PostgreSQL.
+
+MoDisSENSE keeps its read-heavy, index-friendly repositories — POIs and
+blogs — in PostgreSQL and answers non-personalized queries with plain
+SQL selects over them (paper Sections 2.1–2.2).  This package rebuilds
+the access paths those queries use:
+
+- typed schemas with constraint checks (:mod:`schema`);
+- heap tables with hash, ordered (B-tree-like) and R-tree spatial
+  indexes kept in sync on every mutation (:mod:`table`, :mod:`index`);
+- a predicate/query layer and a rule-based planner that picks the most
+  selective index, falling back to a sequential scan (:mod:`query`,
+  :mod:`planner`);
+- :class:`SqlEngine`, the multi-table facade with EXPLAIN-style plan
+  inspection (:mod:`engine`).
+"""
+
+from .schema import Column, ColumnType, TableSchema
+from .index import HashIndex, OrderedIndex, SpatialIndex
+from .table import HeapTable
+from .query import (
+    Predicate,
+    Eq,
+    In,
+    Range,
+    BBoxContains,
+    KeywordsAny,
+    And,
+    Query,
+)
+from .planner import Planner, QueryPlan
+from .aggregates import Aggregate, AggregateQuery, execute_aggregate
+from .join import JoinSpec, hash_join, JOIN_INNER, JOIN_LEFT
+from .engine import SqlEngine
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "HashIndex",
+    "OrderedIndex",
+    "SpatialIndex",
+    "HeapTable",
+    "Predicate",
+    "Eq",
+    "In",
+    "Range",
+    "BBoxContains",
+    "KeywordsAny",
+    "And",
+    "Query",
+    "Planner",
+    "QueryPlan",
+    "Aggregate",
+    "AggregateQuery",
+    "execute_aggregate",
+    "JoinSpec",
+    "hash_join",
+    "JOIN_INNER",
+    "JOIN_LEFT",
+    "SqlEngine",
+]

@@ -1,0 +1,144 @@
+"""Aggregate queries: COUNT / SUM / AVG / MIN / MAX with GROUP BY.
+
+PostgreSQL answers MoDisSENSE's reporting-style questions ("how many
+POIs per category", "average interest by city") with plain aggregates;
+this module adds the same capability to the engine, reusing the planner
+for the WHERE clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import QueryError
+from .query import Predicate
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate expression, e.g. ``avg(interest)``.
+
+    ``column`` is ignored for ``count`` (it counts rows).
+    """
+
+    function: str
+    column: Optional[str] = None
+    alias: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.function not in AGGREGATE_FUNCTIONS:
+            raise QueryError(
+                "aggregate must be one of %s, got %r"
+                % (AGGREGATE_FUNCTIONS, self.function)
+            )
+        if self.function != "count" and self.column is None:
+            raise QueryError("%s() needs a column" % self.function)
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.function == "count":
+            return "count"
+        return "%s_%s" % (self.function, self.column)
+
+
+@dataclass
+class AggregateQuery:
+    """``SELECT <aggregates> FROM table [WHERE ...] [GROUP BY ...]``."""
+
+    table: str
+    aggregates: List[Aggregate]
+    where: Optional[Predicate] = None
+    group_by: Optional[List[str]] = None
+    having: Optional[Any] = None  # callable(result_row) -> bool
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise QueryError("an aggregate query needs at least one aggregate")
+
+
+class _Accumulator:
+    """Streaming state for one group's aggregates."""
+
+    __slots__ = ("count", "sums", "mins", "maxs", "value_counts")
+
+    def __init__(self, aggregates: List[Aggregate]) -> None:
+        self.count = 0
+        self.sums: Dict[str, float] = {}
+        self.mins: Dict[str, Any] = {}
+        self.maxs: Dict[str, Any] = {}
+        self.value_counts: Dict[str, int] = {}
+
+    def add(self, row: Dict[str, Any], aggregates: List[Aggregate]) -> None:
+        self.count += 1
+        for agg in aggregates:
+            if agg.function == "count" or agg.column is None:
+                continue
+            value = row.get(agg.column)
+            if value is None:
+                continue  # SQL semantics: NULLs are skipped
+            col = agg.column
+            self.value_counts[col] = self.value_counts.get(col, 0) + 1
+            if agg.function in ("sum", "avg"):
+                self.sums[col] = self.sums.get(col, 0) + value
+            if agg.function == "min":
+                if col not in self.mins or value < self.mins[col]:
+                    self.mins[col] = value
+            if agg.function == "max":
+                if col not in self.maxs or value > self.maxs[col]:
+                    self.maxs[col] = value
+
+    def finalize(self, aggregates: List[Aggregate]) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for agg in aggregates:
+            name = agg.output_name
+            if agg.function == "count":
+                out[name] = self.count
+            elif agg.function == "sum":
+                out[name] = self.sums.get(agg.column, 0)
+            elif agg.function == "avg":
+                n = self.value_counts.get(agg.column, 0)
+                out[name] = (
+                    self.sums.get(agg.column, 0) / n if n else None
+                )
+            elif agg.function == "min":
+                out[name] = self.mins.get(agg.column)
+            elif agg.function == "max":
+                out[name] = self.maxs.get(agg.column)
+        return out
+
+
+def execute_aggregate(engine, query: AggregateQuery) -> List[Dict[str, Any]]:
+    """Run an aggregate query against an engine's table.
+
+    Returns one row per group (one row total without GROUP BY), each
+    carrying the group-by columns plus every aggregate's output.
+    """
+    from .query import Query
+
+    rows = engine.select(Query(table=query.table, where=query.where))
+
+    groups: Dict[Tuple, _Accumulator] = {}
+    group_cols = query.group_by or []
+    for row in rows:
+        key = tuple(row.get(c) for c in group_cols)
+        acc = groups.get(key)
+        if acc is None:
+            acc = groups[key] = _Accumulator(query.aggregates)
+        acc.add(row, query.aggregates)
+
+    if not groups and not group_cols:
+        groups[()] = _Accumulator(query.aggregates)
+
+    out: List[Dict[str, Any]] = []
+    for key in sorted(groups, key=repr):
+        result = dict(zip(group_cols, key))
+        result.update(groups[key].finalize(query.aggregates))
+        if query.having is not None and not query.having(result):
+            continue
+        out.append(result)
+    return out

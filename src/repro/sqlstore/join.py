@@ -1,0 +1,87 @@
+"""Equi-joins between tables (hash join).
+
+The paper's schema discussion (Section 2.1) weighs "joining POI
+information with visit information at query time" against replication.
+This module implements the join side of that trade for the relational
+store: a classic build/probe hash join over two queries' outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import QueryError
+from .query import Query
+
+JOIN_INNER = "inner"
+JOIN_LEFT = "left"
+
+
+@dataclass
+class JoinSpec:
+    """One equi-join: ``left.left_key = right.right_key``.
+
+    Column-name collisions are resolved by prefixing the right side's
+    columns with ``<right table>.``; the join keys keep the left name.
+    """
+
+    left: Query
+    right: Query
+    left_key: str
+    right_key: str
+    kind: str = JOIN_INNER
+
+    def __post_init__(self) -> None:
+        if self.kind not in (JOIN_INNER, JOIN_LEFT):
+            raise QueryError("join kind must be inner or left")
+
+
+def hash_join(engine, spec: JoinSpec) -> List[Dict[str, Any]]:
+    """Execute a hash join: build on the right input, probe with the left.
+
+    NULL keys never match (SQL semantics).  For a LEFT join, unmatched
+    left rows appear once with the right side's columns set to None.
+    """
+    left_rows = engine.select(spec.left)
+    right_rows = engine.select(spec.right)
+
+    # ---- build phase
+    build: Dict[Any, List[Dict[str, Any]]] = {}
+    for row in right_rows:
+        key = row.get(spec.right_key)
+        if key is None:
+            continue
+        if isinstance(key, list):
+            key = tuple(key)
+        build.setdefault(key, []).append(row)
+
+    right_prefix = "%s." % spec.right.table
+    right_columns: List[str] = []
+    if right_rows:
+        right_columns = list(right_rows[0])
+
+    def merge(left_row: Dict, right_row: Optional[Dict]) -> Dict[str, Any]:
+        out = dict(left_row)
+        for column in right_columns or (
+            list(right_row) if right_row else []
+        ):
+            name = (
+                right_prefix + column if column in left_row else column
+            )
+            out[name] = right_row.get(column) if right_row else None
+        return out
+
+    # ---- probe phase
+    joined: List[Dict[str, Any]] = []
+    for left_row in left_rows:
+        key = left_row.get(spec.left_key)
+        if isinstance(key, list):
+            key = tuple(key)
+        matches = build.get(key, []) if key is not None else []
+        if matches:
+            for right_row in matches:
+                joined.append(merge(left_row, right_row))
+        elif spec.kind == JOIN_LEFT:
+            joined.append(merge(left_row, None))
+    return joined

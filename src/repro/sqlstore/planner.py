@@ -1,0 +1,141 @@
+"""Rule-based query planner.
+
+PostgreSQL's planner costs alternative paths; this reproduction uses the
+rule hierarchy that matters for the platform's query mix:
+
+1. a spatial index for a bounding-box predicate (the dominant shape);
+2. a hash/ordered index for an equality or IN predicate;
+3. an ordered index for a range predicate;
+4. sequential scan.
+
+The chosen access path produces a candidate row-id set; remaining
+predicates run as a filter on the heap rows — exactly an index scan with
+a recheck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..errors import PlannerError
+from .index import HashIndex, OrderedIndex, SpatialIndex
+from .query import (
+    And,
+    BBoxContains,
+    Eq,
+    In,
+    Predicate,
+    Query,
+    Range,
+)
+from .table import HeapTable
+
+
+@dataclass
+class QueryPlan:
+    """EXPLAIN output: the chosen access path and residual filters."""
+
+    access_path: str
+    index_column: Optional[str]
+    driving_predicate: Optional[Predicate]
+    residual_predicates: List[Predicate]
+    estimated_candidates: Optional[int] = None
+
+    def describe(self) -> str:
+        parts = [self.access_path]
+        if self.index_column:
+            parts.append("on %s" % self.index_column)
+        if self.residual_predicates:
+            parts.append("filter x%d" % len(self.residual_predicates))
+        return " ".join(parts)
+
+
+class Planner:
+    """Chooses an access path for a query against one table."""
+
+    def plan(self, table: HeapTable, query: Query) -> QueryPlan:
+        predicates = query.where.flatten() if query.where is not None else []
+
+        # Rule 1: bounding box via spatial index.
+        for pred in predicates:
+            if isinstance(pred, BBoxContains):
+                spatial = table.spatial_index()
+                if spatial is not None and (
+                    spatial.lat_column == pred.lat_column
+                    and spatial.lon_column == pred.lon_column
+                ):
+                    rest = [p for p in predicates if p is not pred]
+                    return QueryPlan(
+                        access_path="spatial index scan",
+                        index_column=spatial.column,
+                        driving_predicate=pred,
+                        residual_predicates=rest,
+                    )
+
+        # Rule 2: equality / IN via hash or ordered index.
+        for pred in predicates:
+            if isinstance(pred, (Eq, In)):
+                index = table.index_for_column(pred.column)
+                if index is not None and isinstance(
+                    index, (HashIndex, OrderedIndex)
+                ):
+                    rest = [p for p in predicates if p is not pred]
+                    return QueryPlan(
+                        access_path="index scan",
+                        index_column=pred.column,
+                        driving_predicate=pred,
+                        residual_predicates=rest,
+                    )
+
+        # Rule 3: range via ordered index.
+        for pred in predicates:
+            if isinstance(pred, Range):
+                index = table.index_for_column(pred.column)
+                if isinstance(index, OrderedIndex):
+                    rest = [p for p in predicates if p is not pred]
+                    return QueryPlan(
+                        access_path="index range scan",
+                        index_column=pred.column,
+                        driving_predicate=pred,
+                        residual_predicates=rest,
+                    )
+
+        return QueryPlan(
+            access_path="seq scan",
+            index_column=None,
+            driving_predicate=None,
+            residual_predicates=predicates,
+        )
+
+    def candidate_rids(self, table: HeapTable, plan: QueryPlan) -> Set[int]:
+        """Row ids produced by the plan's driving access path."""
+        pred = plan.driving_predicate
+        if pred is None:
+            return {rid for rid, _row in table.scan()}
+
+        if isinstance(pred, BBoxContains):
+            spatial = table.spatial_index()
+            if spatial is None:
+                raise PlannerError("plan expects a spatial index")
+            return spatial.search_bbox(pred.bbox)
+
+        index = table.index_for_column(getattr(pred, "column", ""))
+        if index is None:
+            raise PlannerError("plan expects an index on %r" % pred)
+        if isinstance(pred, Eq):
+            return index.lookup(pred.value)
+        if isinstance(pred, In):
+            if isinstance(index, HashIndex):
+                return index.lookup_many(pred.values)
+            out: Set[int] = set()
+            for value in pred.values:
+                out |= index.lookup(value)
+            return out
+        if isinstance(pred, Range):
+            if not isinstance(index, OrderedIndex):
+                raise PlannerError("range scan needs an ordered index")
+            return index.range(
+                pred.low, pred.high, pred.include_low, pred.include_high
+            )
+        raise PlannerError("unsupported driving predicate %r" % (pred,))

@@ -1,0 +1,155 @@
+"""Predicates and query descriptions.
+
+Rather than parsing SQL text, queries are built from predicate objects —
+the same information a parsed WHERE clause carries, minus the parser.
+The planner pattern-matches on predicate types to choose indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..geo import BoundingBox
+
+
+class Predicate:
+    """Base predicate; subclasses implement :meth:`matches`."""
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        raise QueryError("%s does not implement matches()" % type(self).__name__)
+
+    def flatten(self) -> List["Predicate"]:
+        """The conjunction's leaves (self, unless an :class:`And`)."""
+        return [self]
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``column = value``."""
+
+    column: str
+    value: Any
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) == self.value
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``column IN (values)``."""
+
+    column: str
+    values: Tuple
+
+    def __init__(self, column: str, values) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return row.get(self.column) in self.values
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """``low <= column < high`` with configurable inclusivity."""
+
+    column: str
+    low: Optional[Any] = None
+    high: Optional[Any] = None
+    include_low: bool = True
+    include_high: bool = False
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        value = row.get(self.column)
+        if value is None:
+            return False
+        if self.low is not None:
+            if self.include_low:
+                if value < self.low:
+                    return False
+            elif value <= self.low:
+                return False
+        if self.high is not None:
+            if self.include_high:
+                if value > self.high:
+                    return False
+            elif value >= self.high:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class BBoxContains(Predicate):
+    """``(lat_column, lon_column)`` inside a bounding box."""
+
+    lat_column: str
+    lon_column: str
+    bbox: BoundingBox
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        lat = row.get(self.lat_column)
+        lon = row.get(self.lon_column)
+        if lat is None or lon is None:
+            return False
+        return self.bbox.contains_coords(lat, lon)
+
+
+@dataclass(frozen=True)
+class KeywordsAny(Predicate):
+    """A ``text[]`` column shares at least one keyword with the query.
+
+    PostgreSQL's ``keywords && ARRAY[...]`` overlap operator.
+    """
+
+    column: str
+    keywords: Tuple
+
+    def __init__(self, column: str, keywords) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(
+            self, "keywords", tuple(k.lower() for k in keywords)
+        )
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        values = row.get(self.column)
+        if not values:
+            return False
+        wanted = set(self.keywords)
+        return any(v.lower() in wanted for v in values)
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        leaves: List[Predicate] = []
+        for p in predicates:
+            leaves.extend(p.flatten())
+        self.predicates = leaves
+
+    def matches(self, row: Dict[str, Any]) -> bool:
+        return all(p.matches(row) for p in self.predicates)
+
+    def flatten(self) -> List[Predicate]:
+        return list(self.predicates)
+
+
+@dataclass
+class Query:
+    """A SELECT over one table.
+
+    ``order_by`` is ``(column, descending)``; ``limit`` of ``None`` means
+    all rows.
+    """
+
+    table: str
+    where: Optional[Predicate] = None
+    order_by: Optional[Tuple[str, bool]] = None
+    limit: Optional[int] = None
+    columns: Optional[List[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 0:
+            raise QueryError("limit must be >= 0, got %r" % self.limit)

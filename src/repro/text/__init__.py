@@ -1,0 +1,38 @@
+"""Textual-processing substrate.
+
+Rebuilds the paper's sentiment stack (Section 3.2) from scratch: a
+tokenizer with the baseline preprocessing (lowercase, stopword removal,
+Porter stemming), the four training optimizations (term-frequency
+weighting, 2-grams, Bi-Normal Separation feature selection, rare-word
+pruning), and a multinomial Naive Bayes classifier — the Mahout
+equivalent.
+"""
+
+from .tokenizer import Tokenizer
+from .stemmer import porter_stem
+from .stopwords import STOPWORDS
+from .ngrams import ngrams, unigrams_and_bigrams
+from .features import FeatureExtractor, bns_scores
+from .naive_bayes import NaiveBayesClassifier
+from .sentiment import SentimentPipeline, TrainingReport
+from .evaluation import ConfusionMatrix, evaluate_classifier
+from .tuning import GridSearchResult, cross_validate, grid_search, k_fold_splits
+
+__all__ = [
+    "Tokenizer",
+    "porter_stem",
+    "STOPWORDS",
+    "ngrams",
+    "unigrams_and_bigrams",
+    "FeatureExtractor",
+    "bns_scores",
+    "NaiveBayesClassifier",
+    "SentimentPipeline",
+    "TrainingReport",
+    "ConfusionMatrix",
+    "evaluate_classifier",
+    "GridSearchResult",
+    "cross_validate",
+    "grid_search",
+    "k_fold_splits",
+]

@@ -1,0 +1,92 @@
+"""Classifier evaluation: confusion matrix, precision/recall/F1.
+
+The paper reports accuracy only, but tuning "after an extensive
+experimental study" needs the full picture — especially with the
+class-imbalance robustness BNS is known for.  These utilities evaluate
+any trained pipeline on a labelled set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts (positive class = 1)."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            raise ValidationError("empty confusion matrix")
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positive + self.false_positive
+        return self.true_positive / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positive + self.false_negative
+        return self.true_positive / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def specificity(self) -> float:
+        """True-negative rate — recall of the negative class."""
+        denom = self.true_negative + self.false_positive
+        return self.true_negative / denom if denom else 0.0
+
+    def describe(self) -> str:
+        return (
+            "accuracy=%.3f precision=%.3f recall=%.3f f1=%.3f"
+            % (self.accuracy, self.precision, self.recall, self.f1)
+        )
+
+
+def evaluate_classifier(
+    classify, labeled_documents: Iterable[Tuple[str, int]]
+) -> ConfusionMatrix:
+    """Build a confusion matrix for any ``classify(text) -> 0|1``."""
+    tp = fp = tn = fn = 0
+    for text, label in labeled_documents:
+        predicted = classify(text)
+        if label == 1 and predicted == 1:
+            tp += 1
+        elif label == 0 and predicted == 1:
+            fp += 1
+        elif label == 0 and predicted == 0:
+            tn += 1
+        elif label == 1 and predicted == 0:
+            fn += 1
+        else:
+            raise ValidationError(
+                "labels/predictions must be 0 or 1, got %r/%r"
+                % (label, predicted)
+            )
+    matrix = ConfusionMatrix(tp, fp, tn, fn)
+    if matrix.total == 0:
+        raise ValidationError("cannot evaluate on an empty set")
+    return matrix

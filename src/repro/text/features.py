@@ -1,0 +1,166 @@
+"""Feature engineering: tf weighting, rare-word pruning, BNS selection.
+
+These are the paper's tunable optimizations (Section 3.2): "use of the
+tf metric, 2-grams, Bi-Normal Separation and deletion of words with less
+than x occurrences."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..config import SentimentConfig
+from .ngrams import unigrams_and_bigrams
+from .tokenizer import Tokenizer
+
+
+def _norm_ppf(p: float) -> float:
+    """Inverse standard-normal CDF via Acklam's rational approximation.
+
+    Accurate to ~1e-9 over (0, 1); BNS needs z-scores of rates, and
+    shipping a dependency for one function would be disproportionate.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1), got %r" % p)
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (
+            ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+        ) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(
+        ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+    ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+def bns_scores(
+    doc_freq_pos: Dict[str, int],
+    doc_freq_neg: Dict[str, int],
+    num_pos: int,
+    num_neg: int,
+) -> Dict[str, float]:
+    """Bi-Normal Separation score per feature (Forman, 2003).
+
+    ``BNS(f) = |F^-1(tpr) - F^-1(fpr)|`` where tpr/fpr are the feature's
+    document rates in the positive/negative class, clipped away from 0
+    and 1 as Forman prescribes.
+    """
+    scores: Dict[str, float] = {}
+    num_pos = max(1, num_pos)
+    num_neg = max(1, num_neg)
+    lo = 0.0005
+    hi = 1.0 - lo
+    features = set(doc_freq_pos) | set(doc_freq_neg)
+    for feature in features:
+        tpr = min(hi, max(lo, doc_freq_pos.get(feature, 0) / num_pos))
+        fpr = min(hi, max(lo, doc_freq_neg.get(feature, 0) / num_neg))
+        scores[feature] = abs(_norm_ppf(tpr) - _norm_ppf(fpr))
+    return scores
+
+
+class FeatureExtractor:
+    """Turns raw review text into a feature-count vector.
+
+    The pipeline (in order): tokenize (lowercase / stopwords / stemming
+    per config) → optional bigrams → optional vocabulary restriction
+    (set by :meth:`fit` from pruning + BNS) → counts.  With ``use_tf``
+    off, counts collapse to 0/1 presence (Bernoulli-style features),
+    which is the paper's baseline.
+    """
+
+    def __init__(self, config: Optional[SentimentConfig] = None) -> None:
+        self.config = config or SentimentConfig()
+        self.tokenizer = Tokenizer(
+            lowercase=self.config.lowercase,
+            remove_stopwords=self.config.remove_stopwords,
+            stem=self.config.stem,
+        )
+        self._vocabulary: Optional[Set[str]] = None
+
+    # ------------------------------------------------------------ fitting
+
+    def fit(self, labeled_documents: Iterable[Tuple[str, int]]) -> None:
+        """Learn the vocabulary from ``(text, label)`` pairs.
+
+        Applies min-occurrence pruning and, when enabled, keeps the top
+        ``bns_keep_fraction`` of features by BNS score.  Labels are 1
+        (positive) / 0 (negative).
+        """
+        total_counts: Dict[str, int] = {}
+        doc_freq_pos: Dict[str, int] = {}
+        doc_freq_neg: Dict[str, int] = {}
+        num_pos = 0
+        num_neg = 0
+
+        for text, label in labeled_documents:
+            features = self._raw_features(text)
+            present = set(features)
+            for f in features:
+                total_counts[f] = total_counts.get(f, 0) + 1
+            target = doc_freq_pos if label == 1 else doc_freq_neg
+            if label == 1:
+                num_pos += 1
+            else:
+                num_neg += 1
+            for f in present:
+                target[f] = target.get(f, 0) + 1
+
+        vocabulary = set(total_counts)
+        if self.config.min_occurrences > 0:
+            vocabulary = {
+                f
+                for f in vocabulary
+                if total_counts[f] >= self.config.min_occurrences
+            }
+        if self.config.use_bns and vocabulary:
+            scores = bns_scores(doc_freq_pos, doc_freq_neg, num_pos, num_neg)
+            ranked = sorted(
+                vocabulary, key=lambda f: scores.get(f, 0.0), reverse=True
+            )
+            keep = max(1, int(len(ranked) * self.config.bns_keep_fraction))
+            vocabulary = set(ranked[:keep])
+        self._vocabulary = vocabulary
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._vocabulary) if self._vocabulary is not None else 0
+
+    # ---------------------------------------------------------- transform
+
+    def _raw_features(self, text: str) -> List[str]:
+        tokens = self.tokenizer.tokenize(text)
+        if self.config.use_bigrams:
+            return unigrams_and_bigrams(tokens)
+        return tokens
+
+    def transform(self, text: str) -> Dict[str, int]:
+        """Feature-count vector for one document."""
+        counts: Dict[str, int] = {}
+        for feature in self._raw_features(text):
+            if self._vocabulary is not None and feature not in self._vocabulary:
+                continue
+            counts[feature] = counts.get(feature, 0) + 1
+        if not self.config.use_tf:
+            counts = {f: 1 for f in counts}
+        return counts

@@ -1,0 +1,127 @@
+"""Multinomial Naive Bayes with Laplace smoothing.
+
+The from-scratch equivalent of the Mahout classifier the paper trains:
+log-space scoring, add-one smoothing, binary classes (positive=1,
+negative=0).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import NotTrainedError, ValidationError
+
+
+class NaiveBayesClassifier:
+    """Binary multinomial NB over feature-count vectors.
+
+    Train with :meth:`train` on ``(feature_counts, label)`` pairs, or
+    feed pre-aggregated per-class counts through
+    :meth:`from_aggregates` (the MapReduce training path).
+    """
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        if smoothing <= 0:
+            raise ValidationError("smoothing must be positive")
+        self.smoothing = smoothing
+        self._log_prior: Optional[Dict[int, float]] = None
+        self._log_likelihood: Optional[Dict[int, Dict[str, float]]] = None
+        self._log_unseen: Optional[Dict[int, float]] = None
+        self._vocabulary_size = 0
+
+    # ----------------------------------------------------------- training
+
+    def train(
+        self, examples: Iterable[Tuple[Dict[str, int], int]]
+    ) -> None:
+        """Fit priors and likelihoods from feature-count/label pairs."""
+        class_doc_counts: Dict[int, int] = {0: 0, 1: 0}
+        class_feature_counts: Dict[int, Dict[str, int]] = {0: {}, 1: {}}
+        for counts, label in examples:
+            if label not in (0, 1):
+                raise ValidationError("labels must be 0 or 1, got %r" % label)
+            class_doc_counts[label] += 1
+            bucket = class_feature_counts[label]
+            for feature, count in counts.items():
+                bucket[feature] = bucket.get(feature, 0) + count
+        self.from_aggregates(class_doc_counts, class_feature_counts)
+
+    def from_aggregates(
+        self,
+        class_doc_counts: Dict[int, int],
+        class_feature_counts: Dict[int, Dict[str, int]],
+    ) -> None:
+        """Build the model from per-class aggregates.
+
+        This is the interface the MapReduce trainer reduces into: the
+        shuffle produces exactly these two dictionaries.
+        """
+        total_docs = sum(class_doc_counts.values())
+        if total_docs == 0:
+            raise ValidationError("cannot train on an empty corpus")
+        vocabulary = set()
+        for counts in class_feature_counts.values():
+            vocabulary.update(counts)
+        self._vocabulary_size = len(vocabulary)
+
+        self._log_prior = {}
+        self._log_likelihood = {}
+        self._log_unseen = {}
+        v = max(1, self._vocabulary_size)
+        for label in (0, 1):
+            docs = class_doc_counts.get(label, 0)
+            # Laplace on the prior too, so a single-class corpus still
+            # yields finite scores.
+            self._log_prior[label] = math.log(
+                (docs + self.smoothing) / (total_docs + 2 * self.smoothing)
+            )
+            counts = class_feature_counts.get(label, {})
+            total_tokens = sum(counts.values())
+            denom = total_tokens + self.smoothing * v
+            self._log_likelihood[label] = {
+                feature: math.log((count + self.smoothing) / denom)
+                for feature, count in counts.items()
+            }
+            self._log_unseen[label] = math.log(self.smoothing / denom)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._log_prior is not None
+
+    @property
+    def vocabulary_size(self) -> int:
+        return self._vocabulary_size
+
+    # ---------------------------------------------------------- inference
+
+    def log_scores(self, counts: Dict[str, int]) -> Dict[int, float]:
+        """Unnormalized class log-posteriors for one document."""
+        if (
+            self._log_prior is None
+            or self._log_likelihood is None
+            or self._log_unseen is None
+        ):
+            raise NotTrainedError("classifier used before training")
+        scores: Dict[int, float] = {}
+        for label in (0, 1):
+            score = self._log_prior[label]
+            likelihood = self._log_likelihood[label]
+            unseen = self._log_unseen[label]
+            for feature, count in counts.items():
+                score += count * likelihood.get(feature, unseen)
+            scores[label] = score
+        return scores
+
+    def predict(self, counts: Dict[str, int]) -> int:
+        """Most probable class: 1 (positive) or 0 (negative)."""
+        scores = self.log_scores(counts)
+        return 1 if scores[1] >= scores[0] else 0
+
+    def predict_proba(self, counts: Dict[str, int]) -> float:
+        """P(positive | document), computed stably in log space."""
+        scores = self.log_scores(counts)
+        m = max(scores.values())
+        exp0 = math.exp(scores[0] - m)
+        exp1 = math.exp(scores[1] - m)
+        return exp1 / (exp0 + exp1)

@@ -1,0 +1,32 @@
+"""N-gram feature construction.
+
+One of the paper's four classifier optimizations is the use of 2-grams:
+adjacent token pairs become additional features, capturing negation and
+collocation ("not good", "highly recommend") that unigrams miss.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ValidationError
+
+#: Joiner for n-gram components; distinct from token characters.
+NGRAM_JOINER = "_"
+
+
+def ngrams(tokens: Sequence[str], n: int) -> List[str]:
+    """All contiguous ``n``-grams of a token sequence, joined by ``_``."""
+    if n < 1:
+        raise ValidationError("n must be >= 1, got %r" % n)
+    if n == 1:
+        return list(tokens)
+    return [
+        NGRAM_JOINER.join(tokens[i : i + n])
+        for i in range(len(tokens) - n + 1)
+    ]
+
+
+def unigrams_and_bigrams(tokens: Sequence[str]) -> List[str]:
+    """The paper's 2-gram option: unigrams plus bigrams."""
+    return list(tokens) + ngrams(tokens, 2)

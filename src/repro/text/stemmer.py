@@ -1,0 +1,217 @@
+"""The Porter stemming algorithm (Porter, 1980), implemented in full.
+
+The paper's preprocessing applies stemming before training; Mahout uses
+Lucene's Porter stemmer, so this is a faithful from-scratch port of the
+original algorithm's five steps.
+"""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("aeiou")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Porter's *m*: the number of VC sequences in the stem."""
+    m = 0
+    i = 0
+    n = len(stem)
+    # Skip initial consonants.
+    while i < n and _is_consonant(stem, i):
+        i += 1
+    while i < n:
+        # Vowel run.
+        while i < n and not _is_consonant(stem, i):
+            i += 1
+        if i >= n:
+            break
+        m += 1
+        # Consonant run.
+        while i < n and _is_consonant(stem, i):
+            i += 1
+    return m
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    """Consonant-vowel-consonant, where the final consonant is not w/x/y."""
+    if len(word) < 3:
+        return False
+    return (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+        and word[-1] not in "wxy"
+    )
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str, min_m: int) -> str:
+    """If ``word`` ends with ``suffix`` and the remaining stem has
+    measure > ``min_m``, swap the suffix; otherwise return unchanged."""
+    if not word.endswith(suffix):
+        return word
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > min_m:
+        return stem + replacement
+    return word
+
+
+def porter_stem(word: str) -> str:
+    """Stem one lowercase word; inputs shorter than 3 chars pass through."""
+    if len(word) <= 2:
+        return word
+    word = _step1a(word)
+    word = _step1b(word)
+    word = _step1c(word)
+    word = _step2(word)
+    word = _step3(word)
+    word = _step4(word)
+    word = _step5a(word)
+    word = _step5b(word)
+    return word
+
+
+def _step1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return word[:-1]
+        return word
+    flag = False
+    if word.endswith("ed"):
+        stem = word[:-2]
+        if _contains_vowel(stem):
+            word = stem
+            flag = True
+    elif word.endswith("ing"):
+        stem = word[:-3]
+        if _contains_vowel(stem):
+            word = stem
+            flag = True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2_RULES = (
+    ("ational", "ate"),
+    ("tional", "tion"),
+    ("enci", "ence"),
+    ("anci", "ance"),
+    ("izer", "ize"),
+    ("abli", "able"),
+    ("alli", "al"),
+    ("entli", "ent"),
+    ("eli", "e"),
+    ("ousli", "ous"),
+    ("ization", "ize"),
+    ("ation", "ate"),
+    ("ator", "ate"),
+    ("alism", "al"),
+    ("iveness", "ive"),
+    ("fulness", "ful"),
+    ("ousness", "ous"),
+    ("aliti", "al"),
+    ("iviti", "ive"),
+    ("biliti", "ble"),
+)
+
+_STEP3_RULES = (
+    ("icate", "ic"),
+    ("ative", ""),
+    ("alize", "al"),
+    ("iciti", "ic"),
+    ("ical", "ic"),
+    ("ful", ""),
+    ("ness", ""),
+)
+
+_STEP4_SUFFIXES = (
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+)
+
+
+def _step2(word: str) -> str:
+    for suffix, replacement in _STEP2_RULES:
+        if word.endswith(suffix):
+            return _replace_suffix(word, suffix, replacement, 0)
+    return word
+
+
+def _step3(word: str) -> str:
+    for suffix, replacement in _STEP3_RULES:
+        if word.endswith(suffix):
+            return _replace_suffix(word, suffix, replacement, 0)
+    return word
+
+
+def _step4(word: str) -> str:
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if stem and stem[-1] in "st" and _measure(stem) > 1:
+            return stem
+    return word
+
+
+def _step5a(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            return stem
+    return word
+
+
+def _step5b(word: str) -> str:
+    if word.endswith("ll") and _measure(word) > 1:
+        return word[:-1]
+    return word

@@ -1,0 +1,56 @@
+"""Tokenization with the paper's preprocessing steps."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .stemmer import porter_stem
+from .stopwords import STOPWORDS
+
+_TOKEN_RE = re.compile(r"[a-zA-Z][a-zA-Z']+")
+
+
+class Tokenizer:
+    """Word tokenizer applying the baseline preprocessing of Section 3.2:
+    lowercase, stopword removal, Porter stemming.
+
+    Each step can be disabled for the ablation benches.  Stems are cached
+    per tokenizer instance: the corpus vocabulary is tiny compared with
+    token volume, so memoization removes the stemmer from the hot path.
+    """
+
+    def __init__(
+        self,
+        lowercase: bool = True,
+        remove_stopwords: bool = True,
+        stem: bool = True,
+        min_token_length: int = 2,
+    ) -> None:
+        self.lowercase = lowercase
+        self.remove_stopwords = remove_stopwords
+        self.stem = stem
+        self.min_token_length = min_token_length
+        self._stem_cache: dict = {}
+
+    def tokenize(self, text: str) -> List[str]:
+        """Split text into normalized token list."""
+        if self.lowercase:
+            text = text.lower()
+        tokens = _TOKEN_RE.findall(text)
+        out: List[str] = []
+        for token in tokens:
+            token = token.strip("'")
+            if len(token) < self.min_token_length:
+                continue
+            if self.remove_stopwords and token in STOPWORDS:
+                continue
+            if self.stem:
+                stemmed = self._stem_cache.get(token)
+                if stemmed is None:
+                    stemmed = porter_stem(token)
+                    self._stem_cache[token] = stemmed
+                token = stemmed
+            if token:
+                out.append(token)
+        return out

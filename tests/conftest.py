@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import ClusterConfig, PlatformConfig
+from repro.core import MoDisSENSE
+from repro.core.repositories.visits import VisitStruct
+from repro.datagen import ReviewGenerator, generate_pois
+
+
+@pytest.fixture()
+def small_platform():
+    """A 4-node, 8-region platform; shut down after the test."""
+    platform = MoDisSENSE(PlatformConfig.small())
+    yield platform
+    platform.shutdown()
+
+
+@pytest.fixture(scope="session")
+def small_pois():
+    """300 deterministic POIs for tests that only read them."""
+    return generate_pois(count=300, seed=11)
+
+
+@pytest.fixture(scope="session")
+def review_corpus():
+    """A 2000-document labelled corpus (deterministic)."""
+    return ReviewGenerator(seed=5, capacity=4000).labeled_texts(2000)
+
+
+def make_visits(user_ids, pois, per_user=10, seed=0, t0=1000, t1=2000):
+    """Deterministic visit structs for repository tests."""
+    rng = random.Random(seed)
+    out = []
+    for uid in user_ids:
+        used = set()
+        for _ in range(per_user):
+            poi = rng.choice(pois)
+            ts = rng.randint(t0, t1 - 1)
+            while (ts, poi.poi_id) in used:
+                ts = rng.randint(t0, t1 - 1)
+            used.add((ts, poi.poi_id))
+            out.append(
+                VisitStruct(
+                    user_id=uid,
+                    poi_id=poi.poi_id,
+                    timestamp=ts,
+                    grade=rng.random(),
+                    poi_name=poi.name,
+                    lat=poi.lat,
+                    lon=poi.lon,
+                    keywords=tuple(poi.keywords),
+                )
+            )
+    return out

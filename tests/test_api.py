@@ -1,0 +1,275 @@
+"""Tests for the REST/JSON API layer."""
+
+import pytest
+
+from repro import MoDisSENSE, RestApi
+from repro.config import PlatformConfig
+from repro.core.api.json_format import ApiResponse, validate_request
+from repro.core.repositories.poi import POI
+from repro.datagen import ReviewGenerator
+from repro.errors import ValidationError
+from repro.social import CheckIn, FriendInfo
+
+
+@pytest.fixture()
+def api():
+    p = MoDisSENSE(PlatformConfig.small())
+    fb = p.plugins["facebook"]
+    for i in range(1, 6):
+        fb.add_profile(FriendInfo("fb_%d" % i, "User %d" % i, "pic"))
+    for i in range(2, 6):
+        fb.add_friendship("fb_1", "fb_%d" % i)
+    p.poi_repository.add(
+        POI(poi_id=1, name="Taverna", lat=37.98, lon=23.73,
+            keywords=("food",), category="restaurant", hotness=5.0,
+            interest=0.9)
+    )
+    corpus = ReviewGenerator(seed=1, capacity=2000).labeled_texts(500)
+    p.text_processing.train(corpus)
+    fb.add_checkin(CheckIn("fb_2", 1, 37.98, 23.73, 100, "wonderful food"))
+    rest = RestApi(p)
+    yield rest, p
+    p.shutdown()
+
+
+class TestValidation:
+    def test_unknown_endpoint(self):
+        with pytest.raises(ValidationError):
+            validate_request("nope", {})
+
+    def test_missing_required_field(self):
+        with pytest.raises(ValidationError):
+            validate_request("register", {"network": "facebook"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_request("search", {"bogus": 1})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_request("trending", {"now": "late", "window_s": 10})
+
+    def test_boolean_not_numeric(self):
+        with pytest.raises(ValidationError):
+            validate_request("trending", {"now": True, "window_s": 10})
+
+    def test_optional_fields_may_be_absent(self):
+        validate_request("search", {})
+
+    def test_response_envelopes(self):
+        ok = ApiResponse.ok({"x": 1}).as_dict()
+        assert ok == {"status": "ok", "data": {"x": 1}}
+        err = ApiResponse.fail("boom").as_dict()
+        assert err == {"status": "error", "error": "boom"}
+
+
+class TestEndpoints:
+    def test_register_flow(self, api):
+        rest, _p = api
+        out = rest.handle(
+            "register",
+            {"network": "facebook", "network_user_id": "fb_1",
+             "password": "pw", "now": 0.0},
+        )
+        assert out["status"] == "ok"
+        assert out["data"]["user_id"] == 1
+        assert out["data"]["linked_networks"] == ["facebook"]
+
+    def test_register_bad_password_is_error_envelope(self, api):
+        rest, _p = api
+        out = rest.handle(
+            "register",
+            {"network": "facebook", "network_user_id": "fb_1",
+             "password": "bad", "now": 0.0},
+        )
+        assert out["status"] == "error"
+        assert "credentials" in out["error"]
+
+    def test_unknown_endpoint_is_error_envelope(self, api):
+        rest, _p = api
+        out = rest.handle("teleport", {})
+        assert out["status"] == "error"
+
+    def test_search_non_personalized(self, api):
+        rest, _p = api
+        out = rest.handle("search", {"sort_by": "hotness", "limit": 5})
+        assert out["status"] == "ok"
+        assert out["data"]["personalized"] is False
+        assert out["data"]["pois"][0]["name"] == "Taverna"
+
+    def test_search_personalized(self, api):
+        rest, p = api
+        rest.handle(
+            "register",
+            {"network": "facebook", "network_user_id": "fb_1",
+             "password": "pw", "now": 1000.0},
+        )
+        p.collect(now=1000)
+        out = rest.handle("search", {"friend_ids": [2, 3, 4, 5], "limit": 5})
+        assert out["status"] == "ok"
+        assert out["data"]["personalized"] is True
+        assert out["data"]["pois"][0]["poi_id"] == 1
+        assert out["data"]["latency_ms"] > 0
+
+    def test_search_with_bbox(self, api):
+        rest, _p = api
+        out = rest.handle(
+            "search", {"bbox": [37.9, 23.6, 38.1, 23.8], "sort_by": "hotness"}
+        )
+        assert out["status"] == "ok"
+        assert len(out["data"]["pois"]) == 1
+        out2 = rest.handle(
+            "search", {"bbox": [40.0, 20.0, 41.0, 21.0], "sort_by": "hotness"}
+        )
+        assert out2["data"]["pois"] == []
+
+    def test_trending(self, api):
+        rest, _p = api
+        out = rest.handle("trending", {"now": 1000, "window_s": 900})
+        assert out["status"] == "ok"
+        assert out["data"]["pois"][0]["name"] == "Taverna"
+
+    def test_push_gps(self, api):
+        rest, p = api
+        out = rest.handle(
+            "push_gps",
+            {"points": [
+                {"user_id": 1, "lat": 37.98, "lon": 23.73, "timestamp": 10},
+                {"user_id": 1, "lat": 37.99, "lon": 23.74, "timestamp": 20},
+            ]},
+        )
+        assert out["status"] == "ok"
+        assert out["data"]["stored"] == 2
+        assert p.gps_repository.count() == 2
+
+    def test_friends_endpoint(self, api):
+        rest, p = api
+        rest.handle(
+            "register",
+            {"network": "facebook", "network_user_id": "fb_1",
+             "password": "pw", "now": 1000.0},
+        )
+        p.collect(now=1000)
+        out = rest.handle("friends", {"user_id": 1})
+        assert out["status"] == "ok"
+        assert len(out["data"]["facebook"]) == 4
+
+    def test_blog_workflow_over_api(self, api):
+        rest, p = api
+        rest.handle(
+            "register",
+            {"network": "facebook", "network_user_id": "fb_1",
+             "password": "pw", "now": 0.0},
+        )
+        day0 = 1_433_030_400
+        points = [
+            {"user_id": 1, "lat": 37.98, "lon": 23.73,
+             "timestamp": day0 + 28_800 + i * 250}
+            for i in range(8)
+        ]
+        rest.handle("push_gps", {"points": points})
+        out = rest.handle(
+            "generate_blog",
+            {"user_id": 1, "day_start": day0, "day_end": day0 + 86_400},
+        )
+        assert out["status"] == "ok"
+        blog_id = out["data"]["blog_id"]
+        assert len(out["data"]["visits"]) == 1
+
+        note = rest.handle(
+            "update_blog",
+            {"blog_id": blog_id, "visit_index": 0, "note": "great spot"},
+        )
+        assert note["data"]["visits"][0]["note"] == "great spot"
+
+        published = rest.handle(
+            "publish_blog",
+            {"blog_id": blog_id, "network": "facebook", "now": 10.0},
+        )
+        assert published["data"]["published_to"] == ["facebook"]
+
+        listed = rest.handle("get_blogs", {"user_id": 1})
+        assert len(listed["data"]["blogs"]) == 1
+
+    def test_endpoint_listing(self, api):
+        rest, _p = api
+        endpoints = rest.endpoints()
+        assert "search" in endpoints
+        assert "register" in endpoints
+        assert "admin_describe" in endpoints
+        assert "explain" in endpoints
+        assert len(endpoints) == 13
+
+    def test_explain_endpoint(self, api):
+        rest, p = api
+        rest.handle(
+            "register",
+            {"network": "facebook", "network_user_id": "fb_1",
+             "password": "pw", "now": 1000.0},
+        )
+        p.collect(now=1000)
+        out = rest.handle("explain", {"friend_ids": [2, 3, 4, 5]})
+        assert out["status"] == "ok"
+        assert out["data"]["friends"] == 4
+        assert out["data"]["records_total"] >= 1
+        assert len(out["data"]["regions"]) == 8
+
+    def test_explain_requires_friends(self, api):
+        rest, _p = api
+        out = rest.handle("explain", {})
+        assert out["status"] == "error"
+
+    def test_admin_describe(self, api):
+        rest, _p = api
+        out = rest.handle("admin_describe", {})
+        assert out["status"] == "ok"
+        assert out["data"]["pois"] == 1
+        assert out["data"]["hbase"]["cluster"]["nodes"] == 4
+
+    def test_admin_metrics_without_sink(self, api):
+        rest, _p = api
+        out = rest.handle("admin_metrics", {})
+        assert out["status"] == "ok"
+        assert out["data"] == {"counters": {}, "latencies": {}}
+
+    def test_handle_json_roundtrip(self, api):
+        import json
+
+        rest, _p = api
+        out = json.loads(
+            rest.handle_json("search", '{"sort_by": "hotness", "limit": 2}')
+        )
+        assert out["status"] == "ok"
+        assert out["data"]["pois"][0]["name"] == "Taverna"
+
+    def test_handle_json_malformed_body(self, api):
+        import json
+
+        rest, _p = api
+        out = json.loads(rest.handle_json("search", "{not json"))
+        assert out["status"] == "error"
+        assert "malformed" in out["error"]
+
+    def test_handle_json_non_object_body(self, api):
+        import json
+
+        rest, _p = api
+        out = json.loads(rest.handle_json("search", "[1, 2]"))
+        assert out["status"] == "error"
+
+    def test_handle_json_empty_body(self, api):
+        import json
+
+        rest, _p = api
+        out = json.loads(rest.handle_json("search", ""))
+        assert out["status"] == "ok"
+
+    def test_admin_metrics_with_sink(self, api):
+        from repro.core.monitoring import PlatformMetrics
+
+        rest, _p = api
+        metrics = PlatformMetrics()
+        metrics.increment("requests", 7)
+        rest.attach_metrics(metrics)
+        out = rest.handle("admin_metrics", {})
+        assert out["data"]["counters"]["requests"] == 7

@@ -1,0 +1,185 @@
+"""Tests for DBSCAN, grid partitioning and MR-DBSCAN."""
+
+import random
+
+import pytest
+
+from repro.clustering import (
+    GridPartitioner,
+    NOISE,
+    dbscan,
+    mr_dbscan,
+)
+from repro.clustering.dbscan import cluster_centroid
+from repro.errors import ValidationError
+from repro.geo import GeoPoint
+
+
+def gaussian_blob(center, n, sigma_deg, rng):
+    return [
+        GeoPoint(center[0] + rng.gauss(0, sigma_deg), center[1] + rng.gauss(0, sigma_deg))
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture()
+def three_blobs():
+    rng = random.Random(21)
+    centers = [(37.98, 23.73), (38.03, 23.81), (37.91, 23.64)]
+    points = []
+    for c in centers:
+        points.extend(gaussian_blob(c, 70, 0.00015, rng))
+    noise = [
+        GeoPoint(37.5 + rng.random() * 0.8, 23.2 + rng.random() * 0.9)
+        for _ in range(40)
+    ]
+    return points + noise, centers
+
+
+class TestDBSCAN:
+    def test_finds_three_clusters(self, three_blobs):
+        points, _centers = three_blobs
+        result = dbscan(points, eps_m=60, min_points=8)
+        assert result.num_clusters == 3
+        # The 210 blob points should nearly all be clustered.
+        clustered = sum(1 for l in result.labels[:210] if l != NOISE)
+        assert clustered >= 200
+
+    def test_sparse_points_are_noise(self, three_blobs):
+        points, _ = three_blobs
+        result = dbscan(points, eps_m=60, min_points=8)
+        noise_tail = result.labels[210:]
+        assert sum(1 for l in noise_tail if l == NOISE) >= 35
+
+    def test_empty_input(self):
+        result = dbscan([], eps_m=10, min_points=3)
+        assert result.labels == []
+        assert result.num_clusters == 0
+
+    def test_single_dense_cluster(self):
+        rng = random.Random(1)
+        points = gaussian_blob((40.0, 22.0), 50, 0.0001, rng)
+        result = dbscan(points, eps_m=80, min_points=5)
+        assert result.num_clusters == 1
+        assert all(l == 0 for l in result.labels)
+
+    def test_all_noise_when_min_points_too_high(self):
+        points = [GeoPoint(37.0 + i * 0.1, 23.0) for i in range(10)]
+        result = dbscan(points, eps_m=10, min_points=3)
+        assert result.num_clusters == 0
+        assert all(l == NOISE for l in result.labels)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            dbscan([], eps_m=0, min_points=1)
+        with pytest.raises(ValidationError):
+            dbscan([], eps_m=1, min_points=0)
+
+    def test_cluster_members_excludes_noise(self, three_blobs):
+        points, _ = three_blobs
+        result = dbscan(points, eps_m=60, min_points=8)
+        members = result.cluster_members()
+        assert set(members) == set(range(result.num_clusters))
+        all_indexes = [i for idxs in members.values() for i in idxs]
+        assert len(all_indexes) == len(set(all_indexes))
+
+    def test_centroid(self):
+        points = [GeoPoint(1.0, 1.0), GeoPoint(3.0, 3.0)]
+        c = cluster_centroid(points, [0, 1])
+        assert c == GeoPoint(2.0, 2.0)
+        with pytest.raises(ValidationError):
+            cluster_centroid(points, [])
+
+
+class TestGridPartitioner:
+    def test_every_point_owned_exactly_once(self, three_blobs):
+        points, _ = three_blobs
+        cells = GridPartitioner(eps_m=60, target_cells=16).partition(points)
+        owned = [i for cell in cells for i in cell.inner]
+        assert sorted(owned) == list(range(len(points)))
+
+    def test_halo_contains_cross_border_neighbors(self):
+        # Two points straddling a cell border within eps must share a cell.
+        rng = random.Random(5)
+        points = gaussian_blob((38.0, 23.0), 200, 0.01, rng)
+        eps = 100.0
+        cells = GridPartitioner(eps_m=eps, target_cells=16).partition(points)
+        # For every pair within eps, some cell contains both (inner+halo).
+        close_pairs = []
+        for i in range(len(points)):
+            for j in range(i + 1, len(points)):
+                if points[i].distance_m(points[j]) <= eps:
+                    close_pairs.append((i, j))
+        cell_sets = [set(c.all_indexes) for c in cells]
+        for i, j in close_pairs:
+            assert any(i in s and j in s for s in cell_sets), (i, j)
+
+    def test_empty_input(self):
+        assert GridPartitioner(eps_m=10).partition([]) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            GridPartitioner(eps_m=0)
+        with pytest.raises(ValidationError):
+            GridPartitioner(eps_m=1, target_cells=0)
+
+
+class TestMRDBSCAN:
+    def _core_partition(self, points, result, eps_m, min_points):
+        """Map each *core* point to its cluster, for structure comparison."""
+        from repro.clustering.dbscan import _NeighborGrid
+
+        grid = _NeighborGrid(points, eps_m)
+        core = {}
+        for i in range(len(points)):
+            if len(grid.neighbors(i)) >= min_points:
+                core[i] = result.labels[i]
+        return core
+
+    def test_matches_sequential_on_blobs(self, three_blobs):
+        points, _ = three_blobs
+        seq = dbscan(points, eps_m=60, min_points=8)
+        dist = mr_dbscan(points, eps_m=60, min_points=8, target_partitions=9)
+        assert dist.num_clusters == seq.num_clusters
+        # Core points must induce the same partition (up to relabeling).
+        seq_core = self._core_partition(points, seq, 60, 8)
+        dist_core = self._core_partition(points, dist, 60, 8)
+        assert set(seq_core) == set(dist_core)
+        mapping = {}
+        for idx, seq_label in seq_core.items():
+            dist_label = dist_core[idx]
+            assert mapping.setdefault(seq_label, dist_label) == dist_label
+
+    def test_matches_sequential_on_random_fields(self):
+        rng = random.Random(77)
+        for trial in range(3):
+            points = [
+                GeoPoint(38.0 + rng.random() * 0.02, 23.0 + rng.random() * 0.02)
+                for _ in range(250)
+            ]
+            seq = dbscan(points, eps_m=120, min_points=5)
+            dist = mr_dbscan(points, eps_m=120, min_points=5, target_partitions=8)
+            assert dist.num_clusters == seq.num_clusters
+            seq_core = self._core_partition(points, seq, 120, 5)
+            dist_core = self._core_partition(points, dist, 120, 5)
+            mapping = {}
+            for idx in seq_core:
+                assert mapping.setdefault(
+                    seq_core[idx], dist_core[idx]
+                ) == dist_core[idx]
+
+    def test_empty_input(self):
+        result = mr_dbscan([], eps_m=10, min_points=3)
+        assert result.num_clusters == 0
+
+    def test_single_partition_degenerates_to_dbscan(self, three_blobs):
+        points, _ = three_blobs
+        seq = dbscan(points, eps_m=60, min_points=8)
+        dist = mr_dbscan(points, eps_m=60, min_points=8, target_partitions=1)
+        assert dist.num_clusters == seq.num_clusters
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            mr_dbscan([], eps_m=-1, min_points=1)
+        with pytest.raises(ValidationError):
+            mr_dbscan([], eps_m=1, min_points=0)

@@ -1,0 +1,359 @@
+"""Tests for the core extensions: aggregates, evaluation, simplify,
+scheduler, monitoring."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core import MoDisSENSE
+from repro.core.monitoring import (
+    InstrumentedQueryAnswering,
+    LatencyHistogram,
+    PlatformMetrics,
+)
+from repro.core.scheduler import PeriodicScheduler, build_platform_scheduler
+from repro.errors import QueryError, ValidationError
+from repro.geo import GeoPoint, simplify_trace
+from repro.sqlstore import (
+    Aggregate,
+    AggregateQuery,
+    Column,
+    ColumnType,
+    Eq,
+    SqlEngine,
+    TableSchema,
+    execute_aggregate,
+)
+from repro.text import ConfusionMatrix, evaluate_classifier
+
+
+# ---------------------------------------------------------------- aggregates
+
+
+@pytest.fixture()
+def agg_engine():
+    eng = SqlEngine()
+    eng.create_table(
+        TableSchema(
+            name="pois",
+            columns=[
+                Column("poi_id", ColumnType.INTEGER),
+                Column("category", ColumnType.TEXT),
+                Column("interest", ColumnType.FLOAT, nullable=True),
+            ],
+            primary_key="poi_id",
+        )
+    )
+    rows = [
+        (1, "cafe", 0.8),
+        (2, "cafe", 0.6),
+        (3, "bar", 0.9),
+        (4, "bar", None),
+        (5, "museum", 0.4),
+    ]
+    for poi_id, cat, interest in rows:
+        eng.insert("pois", {"poi_id": poi_id, "category": cat,
+                            "interest": interest})
+    return eng
+
+
+class TestAggregates:
+    def test_global_count_and_avg(self, agg_engine):
+        out = execute_aggregate(
+            agg_engine,
+            AggregateQuery(
+                table="pois",
+                aggregates=[Aggregate("count"), Aggregate("avg", "interest")],
+            ),
+        )
+        assert len(out) == 1
+        assert out[0]["count"] == 5
+        # NULL interest excluded from the average, SQL-style.
+        assert out[0]["avg_interest"] == pytest.approx((0.8 + 0.6 + 0.9 + 0.4) / 4)
+
+    def test_group_by(self, agg_engine):
+        out = execute_aggregate(
+            agg_engine,
+            AggregateQuery(
+                table="pois",
+                aggregates=[Aggregate("count"), Aggregate("max", "interest")],
+                group_by=["category"],
+            ),
+        )
+        by_cat = {row["category"]: row for row in out}
+        assert by_cat["cafe"]["count"] == 2
+        assert by_cat["cafe"]["max_interest"] == 0.8
+        assert by_cat["bar"]["count"] == 2
+        assert by_cat["bar"]["max_interest"] == 0.9
+
+    def test_where_and_having(self, agg_engine):
+        out = execute_aggregate(
+            agg_engine,
+            AggregateQuery(
+                table="pois",
+                aggregates=[Aggregate("count")],
+                group_by=["category"],
+                having=lambda row: row["count"] >= 2,
+            ),
+        )
+        assert {row["category"] for row in out} == {"cafe", "bar"}
+
+    def test_min_sum_alias(self, agg_engine):
+        out = execute_aggregate(
+            agg_engine,
+            AggregateQuery(
+                table="pois",
+                aggregates=[
+                    Aggregate("min", "interest", alias="lowest"),
+                    Aggregate("sum", "interest"),
+                ],
+                where=Eq("category", "cafe"),
+            ),
+        )
+        assert out[0]["lowest"] == 0.6
+        assert out[0]["sum_interest"] == pytest.approx(1.4)
+
+    def test_empty_table_global_aggregate(self):
+        eng = SqlEngine()
+        eng.create_table(
+            TableSchema(
+                name="t",
+                columns=[Column("id", ColumnType.INTEGER)],
+                primary_key="id",
+            )
+        )
+        out = execute_aggregate(
+            eng, AggregateQuery(table="t", aggregates=[Aggregate("count")])
+        )
+        assert out == [{"count": 0}]
+
+    def test_invalid_aggregates(self):
+        with pytest.raises(QueryError):
+            Aggregate("median", "x")
+        with pytest.raises(QueryError):
+            Aggregate("avg")  # needs a column
+        with pytest.raises(QueryError):
+            AggregateQuery(table="t", aggregates=[])
+
+
+# ---------------------------------------------------------------- evaluation
+
+
+class TestEvaluation:
+    def test_confusion_matrix_metrics(self):
+        m = ConfusionMatrix(true_positive=8, false_positive=2,
+                            true_negative=7, false_negative=3)
+        assert m.total == 20
+        assert m.accuracy == pytest.approx(0.75)
+        assert m.precision == pytest.approx(0.8)
+        assert m.recall == pytest.approx(8 / 11)
+        assert m.specificity == pytest.approx(7 / 9)
+        assert 0 < m.f1 < 1
+        assert "accuracy=0.750" in m.describe()
+
+    def test_degenerate_matrix(self):
+        m = ConfusionMatrix(0, 0, 5, 0)
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_evaluate_classifier(self):
+        classify = lambda text: 1 if "good" in text else 0
+        docs = [("good one", 1), ("good fake", 0), ("bad one", 0),
+                ("missed good thing", 1), ("plain", 1)]
+        m = evaluate_classifier(classify, docs)
+        assert m.true_positive == 2
+        assert m.false_positive == 1
+        assert m.true_negative == 1
+        assert m.false_negative == 1
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValidationError):
+            evaluate_classifier(lambda t: 1, [])
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValidationError):
+            evaluate_classifier(lambda t: 1, [("x", 2)])
+
+
+# ------------------------------------------------------------------ simplify
+
+
+class TestSimplifyTrace:
+    def test_collinear_points_collapse(self):
+        points = [GeoPoint(37.0 + i * 0.001, 23.0) for i in range(10)]
+        out = simplify_trace(points, tolerance_m=5.0)
+        assert out == [points[0], points[-1]]
+
+    def test_corner_preserved(self):
+        leg1 = [GeoPoint(37.0 + i * 0.001, 23.0) for i in range(5)]
+        leg2 = [GeoPoint(37.004, 23.0 + i * 0.001) for i in range(1, 5)]
+        points = leg1 + leg2
+        out = simplify_trace(points, tolerance_m=10.0)
+        assert points[4] in out  # the corner survives
+        assert len(out) < len(points)
+
+    def test_short_inputs_unchanged(self):
+        p = [GeoPoint(1, 1), GeoPoint(2, 2)]
+        assert simplify_trace(p, 10.0) == p
+        assert simplify_trace(p[:1], 10.0) == p[:1]
+        assert simplify_trace([], 10.0) == []
+
+    def test_error_bound_respected(self):
+        import random
+
+        from repro.geo.simplify import _perpendicular_distance_m
+
+        rng = random.Random(4)
+        points = [
+            GeoPoint(37.0 + i * 0.0005 + rng.gauss(0, 0.00002),
+                     23.0 + rng.gauss(0, 0.00002))
+            for i in range(60)
+        ]
+        tolerance = 15.0
+        out = simplify_trace(points, tolerance_m=tolerance)
+        kept = set((p.lat, p.lon) for p in out)
+        # Every dropped point is within tolerance of the kept polyline.
+        for p in points:
+            if (p.lat, p.lon) in kept:
+                continue
+            best = min(
+                _perpendicular_distance_m(p, a, b)
+                for a, b in zip(out, out[1:])
+            )
+            assert best <= tolerance + 0.5
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValidationError):
+            simplify_trace([], 0.0)
+
+
+# ----------------------------------------------------------------- scheduler
+
+
+class TestPeriodicScheduler:
+    def test_fires_on_schedule(self):
+        fired = []
+        sched = PeriodicScheduler()
+        sched.register("job", period_s=10.0, callback=fired.append)
+        log = sched.advance_to(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+        assert [t for t, _n, _r in log] == [10.0, 20.0, 30.0]
+        assert sched.job("job").fire_count == 3
+
+    def test_catch_up_semantics(self):
+        fired = []
+        sched = PeriodicScheduler()
+        sched.register("job", period_s=5.0, callback=fired.append)
+        sched.advance_to(4.0)
+        assert fired == []
+        sched.advance_to(21.0)
+        assert fired == [5.0, 10.0, 15.0, 20.0]
+
+    def test_multiple_jobs_in_time_order(self):
+        order = []
+        sched = PeriodicScheduler()
+        sched.register("fast", 3.0, lambda now: order.append(("fast", now)))
+        sched.register("slow", 7.0, lambda now: order.append(("slow", now)))
+        sched.advance_to(10.0)
+        assert order == [
+            ("fast", 3.0), ("fast", 6.0), ("slow", 7.0), ("fast", 9.0),
+        ]
+
+    def test_disable_enable(self):
+        fired = []
+        sched = PeriodicScheduler()
+        sched.register("job", 5.0, fired.append)
+        sched.set_enabled("job", False)
+        sched.advance_to(20.0)
+        assert fired == []
+        sched.set_enabled("job", True)
+        sched.advance_to(40.0)
+        assert fired  # resumes
+
+    def test_time_cannot_reverse(self):
+        sched = PeriodicScheduler(start_at=100.0)
+        with pytest.raises(ValidationError):
+            sched.advance_to(50.0)
+
+    def test_duplicate_name_rejected(self):
+        sched = PeriodicScheduler()
+        sched.register("job", 1.0, lambda now: None)
+        with pytest.raises(ValidationError):
+            sched.register("job", 1.0, lambda now: None)
+
+    def test_platform_scheduler_wiring(self):
+        platform = MoDisSENSE(PlatformConfig.small())
+        try:
+            sched = build_platform_scheduler(platform, start_at=0.0)
+            names = {
+                "data_collection", "hotin_update", "event_detection",
+            }
+            assert {sched.job(n).name for n in names} == names
+            # One collection period passes: the job runs (on an empty
+            # platform it reports zero users).
+            log = sched.advance_by(
+                platform.config.jobs.data_collection_period_s
+            )
+            assert any(name == "data_collection" for _t, name, _r in log)
+            report = sched.job("data_collection").last_result
+            assert report.users_scanned == 0
+        finally:
+            platform.shutdown()
+
+
+# ---------------------------------------------------------------- monitoring
+
+
+class TestMonitoring:
+    def test_histogram_percentiles(self):
+        hist = LatencyHistogram()
+        for v in range(1, 101):
+            hist.record(float(v))
+        assert hist.count == 100
+        assert hist.mean == pytest.approx(50.5)
+        assert hist.percentile(50) == pytest.approx(50.0, abs=1)
+        assert hist.percentile(95) == pytest.approx(95.0, abs=1)
+        assert hist.max_value == 100.0
+
+    def test_histogram_decimation_keeps_shape(self):
+        hist = LatencyHistogram(max_samples=100)
+        for v in range(1000):
+            hist.record(float(v))
+        assert hist.count == 1000
+        assert 400 < hist.percentile(50) < 600
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValidationError):
+            LatencyHistogram(max_samples=5)
+        hist = LatencyHistogram()
+        with pytest.raises(ValidationError):
+            hist.record(-1.0)
+        with pytest.raises(ValidationError):
+            hist.percentile(0.0)
+
+    def test_metrics_snapshot(self):
+        metrics = PlatformMetrics()
+        metrics.increment("queries", 3)
+        metrics.record_latency("q", 5.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["queries"] == 3
+        assert snap["latencies"]["q"]["count"] == 1
+
+    def test_instrumented_query_answering(self, small_platform, small_pois):
+        from repro import SearchQuery
+        from repro.core.repositories.visits import VisitStruct
+
+        small_platform.load_pois(small_pois[:50])
+        small_platform.visits_repository.store(
+            VisitStruct(user_id=1, poi_id=1, timestamp=10, grade=0.9,
+                        poi_name="A", lat=37.0, lon=23.0)
+        )
+        wrapped = InstrumentedQueryAnswering(small_platform.query_answering)
+        wrapped.search(SearchQuery(friend_ids=(1,)))
+        wrapped.search(SearchQuery(sort_by="hotness"))
+        snap = wrapped.metrics.snapshot()
+        assert snap["counters"]["queries.personalized"] == 1
+        assert snap["counters"]["queries.non_personalized"] == 1
+        assert snap["latencies"]["query.personalized"]["count"] == 1
+        # Delegation still works for untracked attributes.
+        assert wrapped.pois is small_platform.poi_repository

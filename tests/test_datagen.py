@@ -1,0 +1,157 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.config import GREECE_BBOX
+from repro.datagen import (
+    POI_CATEGORIES,
+    ReviewGenerator,
+    generate_pois,
+    generate_traces,
+    generate_users,
+    generate_visits,
+    visits_per_user,
+)
+from repro.errors import ValidationError
+from repro.geo import BoundingBox, GeoPoint
+
+
+class TestPOIs:
+    def test_count_and_determinism(self):
+        a = generate_pois(count=500, seed=3)
+        b = generate_pois(count=500, seed=3)
+        assert len(a) == 500
+        assert a == b
+        assert generate_pois(count=100, seed=4) != generate_pois(count=100, seed=5)
+
+    def test_all_inside_greece_bbox(self):
+        box = BoundingBox.from_tuple(GREECE_BBOX)
+        for poi in generate_pois(count=800, seed=1):
+            assert box.contains_coords(poi.lat, poi.lon)
+
+    def test_ids_unique_and_sequential(self):
+        pois = generate_pois(count=200, seed=2)
+        assert [p.poi_id for p in pois] == list(range(1, 201))
+
+    def test_keywords_match_category(self):
+        for poi in generate_pois(count=300, seed=6):
+            allowed = set(POI_CATEGORIES[poi.category])
+            assert set(poi.keywords) <= allowed
+            assert len(poi.keywords) >= 2
+
+    def test_athens_densest(self):
+        pois = generate_pois(count=2000, seed=7)
+        athens = sum(1 for p in pois if p.city == "Athens")
+        assert athens > 0.3 * len(pois)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            generate_pois(count=0)
+
+
+class TestUsers:
+    def test_network_prefixes(self):
+        assert generate_users(5, network="facebook")[0].network_user_id == "fb_1"
+        assert generate_users(5, network="twitter")[0].network_user_id == "tw_1"
+        assert generate_users(5, network="foursquare")[0].network_user_id == "fq_1"
+
+    def test_ids_embed_user_id(self):
+        users = generate_users(50, network="facebook")
+        for u in users:
+            assert u.network_user_id == "fb_%d" % u.user_id
+
+
+class TestVisits:
+    def test_visit_count_distribution_matches_paper(self):
+        rng = random.Random(8)
+        counts = [visits_per_user(rng) for _ in range(5000)]
+        mean = statistics.mean(counts)
+        std = statistics.stdev(counts)
+        assert 160 <= mean <= 180  # paper: mu = 170
+        assert 85 <= std <= 105  # sigma = 101 minus truncation-at-0 loss
+
+    def test_generate_visits_fields(self, small_pois):
+        visits = list(generate_visits([1, 2, 3], small_pois, seed=5))
+        assert visits  # three users, ~170 each
+        poi_ids = {p.poi_id for p in small_pois}
+        for v in visits[:200]:
+            assert v.poi_id in poi_ids
+            assert 0.0 <= v.grade <= 1.0
+            assert 1_400_000_000 <= v.timestamp < 1_430_000_000
+            assert v.poi_name
+
+    def test_repertoire_limits_poi_spread(self, small_pois):
+        visits = [v for v in generate_visits([1], small_pois, seed=5)]
+        distinct = {v.poi_id for v in visits}
+        assert len(distinct) <= 40
+
+    def test_no_pois_rejected(self):
+        with pytest.raises(ValidationError):
+            list(generate_visits([1], [], seed=1))
+
+
+class TestReviews:
+    def test_deterministic_by_index(self):
+        gen = ReviewGenerator(seed=2)
+        assert gen.document(5) == gen.document(5)
+        assert gen.document(5) != gen.document(6)
+
+    def test_prefix_property(self):
+        gen = ReviewGenerator(seed=2)
+        small = gen.generate(10)
+        large = gen.generate(20)
+        assert large[:10] == small
+
+    def test_labels_binarized_consistently(self):
+        for r in ReviewGenerator(seed=3).generate(300):
+            assert r.label in (0, 1)
+            assert r.rating in (1, 2, 4, 5)
+            assert (r.rating >= 4) == (r.label == 1)
+
+    def test_classes_roughly_balanced(self):
+        reviews = ReviewGenerator(seed=4).generate(2000)
+        positive = sum(r.label for r in reviews)
+        assert 0.4 < positive / len(reviews) < 0.6
+
+    def test_noise_ramps_after_onset(self):
+        gen = ReviewGenerator(seed=5, capacity=10_000, noise_onset=0.2,
+                              max_noise=0.4)
+        early = gen._noise_probability(1000)
+        late = gen._noise_probability(9000)
+        assert early == pytest.approx(0.04)
+        assert late > 0.3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            ReviewGenerator(capacity=0)
+        with pytest.raises(ValidationError):
+            ReviewGenerator(noise_onset=1.5)
+        with pytest.raises(ValidationError):
+            ReviewGenerator(max_noise=0.9)
+
+
+class TestTraces:
+    def test_scenario_composition(self, small_pois):
+        scenario = generate_traces(
+            user_ids=[1, 2], known_pois=small_pois[:30], num_hotspots=4,
+            points_per_hotspot=50, near_poi_points=60, background_points=80,
+            seed=3,
+        )
+        assert len(scenario.hotspot_centers) == 4
+        expected = 4 * 50 + scenario.near_known_poi_count + 80
+        assert len(scenario.points) == expected
+
+    def test_hotspots_away_from_known_pois(self, small_pois):
+        scenario = generate_traces(
+            user_ids=[1], known_pois=small_pois[:30], num_hotspots=4, seed=3
+        )
+        for hotspot in scenario.hotspot_centers:
+            for poi in small_pois[:30]:
+                assert hotspot.distance_m(GeoPoint(poi.lat, poi.lon)) >= 400.0
+
+    def test_requires_users(self):
+        with pytest.raises(ValidationError):
+            generate_traces(user_ids=[], known_pois=[])

@@ -1,0 +1,123 @@
+"""Tests for the bulk social-network population helper."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core import MoDisSENSE
+from repro.datagen import (
+    ReviewGenerator,
+    TasteProfile,
+    generate_pois,
+    populate_network,
+)
+from repro.errors import ValidationError
+from repro.social import SimulatedNetwork
+
+
+@pytest.fixture(scope="module")
+def pois():
+    return generate_pois(count=100, seed=41)
+
+
+class TestPopulateNetwork:
+    def test_creates_circle_and_checkins(self, pois):
+        network = SimulatedNetwork("facebook")
+        result = populate_network(
+            network,
+            TasteProfile(loves=pois[:5], checkins_per_friend=4),
+            num_friends=6,
+            seed=1,
+        )
+        assert result.ego_id == "fb_1"
+        assert len(result.friend_ids) == 6
+        assert result.friend_numeric_ids == tuple(range(2, 8))
+        assert result.checkins_added == 24
+        token = network.oauth.authorize(result.ego_id, "pw", now=0.0)
+        assert len(network.get_friends(token)) == 6
+
+    def test_hate_checkins(self, pois):
+        network = SimulatedNetwork("facebook")
+        result = populate_network(
+            network,
+            TasteProfile(
+                loves=pois[:3], hates=pois[3:6],
+                checkins_per_friend=2, hate_checkins_per_friend=1,
+            ),
+            num_friends=4,
+            seed=2,
+        )
+        assert result.checkins_added == 4 * 3
+        token = network.oauth.authorize(result.ego_id, "pw", now=0.0)
+        hated_ids = {p.poi_id for p in pois[3:6]}
+        negative = [
+            c
+            for fid in result.friend_ids
+            for c in network.get_checkins(token, fid, 0, 100_000)
+            if c.poi_id in hated_ids
+        ]
+        assert len(negative) == 4
+        assert all("awful" in c.comment or "overpriced" in c.comment
+                   or "greasy" in c.comment or "dreadful" in c.comment
+                   or "filthy" in c.comment or "stale" in c.comment
+                   or "noisy" in c.comment or "rude" in c.comment
+                   or "bland" in c.comment or "dirty" in c.comment
+                   for c in negative)
+
+    def test_two_circles_coexist(self, pois):
+        network = SimulatedNetwork("facebook")
+        a = populate_network(
+            network, TasteProfile(loves=pois[:3]), num_friends=3,
+            start_user_id=1, seed=3,
+        )
+        b = populate_network(
+            network, TasteProfile(loves=pois[3:6]), num_friends=3,
+            start_user_id=100, seed=4,
+        )
+        assert not set(a.friend_ids) & set(b.friend_ids)
+        token = network.oauth.authorize(a.ego_id, "pw", now=0.0)
+        assert len(network.get_friends(token)) == 3  # circles are disjoint
+
+    def test_validation(self, pois):
+        network = SimulatedNetwork("facebook")
+        with pytest.raises(ValidationError):
+            populate_network(network, TasteProfile(loves=[]), num_friends=2)
+        with pytest.raises(ValidationError):
+            populate_network(
+                network,
+                TasteProfile(loves=pois[:1], hate_checkins_per_friend=1),
+                num_friends=2,
+            )
+        with pytest.raises(ValidationError):
+            populate_network(
+                network, TasteProfile(loves=pois[:1]), num_friends=0
+            )
+
+    def test_end_to_end_with_platform(self, pois):
+        """The helper's output drives a full personalized search."""
+        platform = MoDisSENSE(PlatformConfig.small())
+        try:
+            platform.load_pois(pois)
+            platform.text_processing.train(
+                ReviewGenerator(seed=5, capacity=2000).labeled_texts(600)
+            )
+            result = populate_network(
+                platform.plugins["facebook"],
+                TasteProfile(loves=pois[:4], checkins_per_friend=3),
+                num_friends=5,
+                seed=6,
+            )
+            platform.register_user("facebook", result.ego_id, "pw",
+                                   now=100_000.0)
+            platform.collect(now=100_000)
+            from repro import SearchQuery
+
+            res = platform.search(
+                SearchQuery(friend_ids=result.friend_numeric_ids,
+                            sort_by="interest", limit=4)
+            )
+            assert res.pois
+            assert {p.poi_id for p in res.pois} <= {
+                p.poi_id for p in pois[:4]
+            }
+        finally:
+            platform.shutdown()

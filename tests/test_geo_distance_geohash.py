@@ -1,0 +1,93 @@
+"""Tests for repro.geo.distance and repro.geo.geohash."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo import (
+    geohash_decode,
+    geohash_encode,
+    geohash_neighbors,
+    haversine_m,
+    euclidean_approx_m,
+)
+from repro.geo.distance import meters_per_deg_lon, offset_point_m
+from repro.geo.geohash import geohash_bbox
+
+
+class TestDistance:
+    def test_one_degree_latitude(self):
+        # One degree of latitude is ~111.2 km everywhere.
+        d = haversine_m(37.0, 23.0, 38.0, 23.0)
+        assert 110_000 < d < 112_500
+
+    def test_equirectangular_close_to_haversine_at_city_scale(self):
+        lat1, lon1 = 37.9838, 23.7275
+        lat2, lon2 = 37.9930, 23.7400
+        h = haversine_m(lat1, lon1, lat2, lon2)
+        e = euclidean_approx_m(lat1, lon1, lat2, lon2)
+        assert abs(h - e) / h < 0.01
+
+    def test_meters_per_deg_lon_shrinks_with_latitude(self):
+        assert meters_per_deg_lon(60.0) < meters_per_deg_lon(0.0)
+        assert meters_per_deg_lon(60.0) == pytest.approx(
+            meters_per_deg_lon(0.0) * math.cos(math.radians(60.0)), rel=1e-9
+        )
+
+    def test_offset_point_roundtrip(self):
+        lat, lon = offset_point_m(37.98, 23.73, 500.0, -300.0)
+        d = haversine_m(37.98, 23.73, lat, lon)
+        assert d == pytest.approx(math.hypot(500.0, 300.0), rel=0.01)
+
+    def test_antipodal_distance_bounded(self):
+        # asin clipping keeps the result finite and near pi*R.
+        d = haversine_m(0.0, 0.0, 0.0, 180.0)
+        assert 20_000_000 < d < 20_040_000
+
+
+class TestGeohash:
+    def test_roundtrip_precision9(self):
+        lat, lon = 37.9838, 23.7275
+        decoded_lat, decoded_lon, lat_err, lon_err = geohash_decode(
+            geohash_encode(lat, lon, 9)
+        )
+        assert abs(decoded_lat - lat) <= lat_err * 2
+        assert abs(decoded_lon - lon) <= lon_err * 2
+        assert lat_err < 1e-4
+
+    def test_known_value(self):
+        # Reference value from the original geohash.org implementation.
+        assert geohash_encode(57.64911, 10.40744, 11) == "u4pruydqqvj"
+
+    def test_prefix_property(self):
+        # A longer geohash refines, never relocates: prefixes agree.
+        full = geohash_encode(37.98, 23.73, 10)
+        for precision in range(1, 10):
+            assert geohash_encode(37.98, 23.73, precision) == full[:precision]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            geohash_encode(95.0, 0.0)
+        with pytest.raises(ValidationError):
+            geohash_encode(0.0, 0.0, precision=0)
+        with pytest.raises(ValidationError):
+            geohash_decode("")
+        with pytest.raises(ValidationError):
+            geohash_decode("aio")  # a, i, o, l are not in the alphabet
+
+    def test_neighbors_are_adjacent(self):
+        code = geohash_encode(37.98, 23.73, 6)
+        neighbors = geohash_neighbors(code)
+        assert 3 <= len(neighbors) <= 8
+        assert code not in neighbors
+        own_box = geohash_bbox(code)
+        for n in neighbors:
+            assert len(n) == len(code)
+            # Every neighbour's box touches or overlaps ours.
+            assert geohash_bbox(n).expand_m(1.0).intersects(own_box)
+
+    def test_bbox_contains_encoded_point(self):
+        code = geohash_encode(40.64, 22.94, 7)
+        box = geohash_bbox(code)
+        assert box.contains_coords(40.64, 22.94)

@@ -1,0 +1,135 @@
+"""Tests for repro.geo.point and repro.geo.bbox."""
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo import BoundingBox, GeoPoint
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(37.98, 23.73)
+        assert p.lat == 37.98
+        assert p.lon == 23.73
+
+    def test_latitude_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValidationError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_longitude_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            GeoPoint(0.0, 180.5)
+        with pytest.raises(ValidationError):
+            GeoPoint(0.0, -181.0)
+
+    def test_boundary_values_accepted(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_points_are_hashable_and_equal(self):
+        a = GeoPoint(1.0, 2.0)
+        b = GeoPoint(1.0, 2.0)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_distance_to_self_is_zero(self):
+        p = GeoPoint(37.98, 23.73)
+        assert p.distance_m(p) == 0.0
+
+    def test_distance_is_symmetric(self):
+        a = GeoPoint(37.98, 23.73)
+        b = GeoPoint(40.64, 22.94)
+        assert a.distance_m(b) == pytest.approx(b.distance_m(a))
+
+    def test_athens_thessaloniki_distance(self):
+        # Great-circle Athens -> Thessaloniki is ~300 km.
+        a = GeoPoint(37.9838, 23.7275)
+        b = GeoPoint(40.6401, 22.9444)
+        assert 290_000 < a.distance_m(b) < 310_000
+
+    def test_as_tuple(self):
+        assert GeoPoint(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestBoundingBox:
+    def test_contains_inside_and_borders(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        assert box.contains(GeoPoint(5.0, 5.0))
+        assert box.contains(GeoPoint(0.0, 0.0))
+        assert box.contains(GeoPoint(10.0, 10.0))
+        assert not box.contains(GeoPoint(10.001, 5.0))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            BoundingBox(10.0, 0.0, 0.0, 10.0)
+        with pytest.raises(ValidationError):
+            BoundingBox(0.0, 10.0, 10.0, 0.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points(
+            [GeoPoint(1.0, 7.0), GeoPoint(3.0, 2.0), GeoPoint(2.0, 5.0)]
+        )
+        assert box.as_tuple() == (1.0, 2.0, 3.0, 7.0)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            BoundingBox.from_points([])
+
+    def test_intersects(self):
+        a = BoundingBox(0.0, 0.0, 5.0, 5.0)
+        b = BoundingBox(4.0, 4.0, 8.0, 8.0)
+        c = BoundingBox(6.0, 6.0, 9.0, 9.0)
+        assert a.intersects(b)
+        assert b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_touching_borders_intersect(self):
+        a = BoundingBox(0.0, 0.0, 5.0, 5.0)
+        b = BoundingBox(5.0, 0.0, 10.0, 5.0)
+        assert a.intersects(b)
+
+    def test_union_covers_both(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox(5.0, 5.0, 6.0, 6.0)
+        u = a.union(b)
+        assert u.contains(GeoPoint(0.0, 0.0))
+        assert u.contains(GeoPoint(6.0, 6.0))
+
+    def test_expand_m_grows_every_side(self):
+        box = BoundingBox(37.0, 23.0, 38.0, 24.0)
+        grown = box.expand_m(1000.0)
+        assert grown.min_lat < box.min_lat
+        assert grown.max_lat > box.max_lat
+        assert grown.min_lon < box.min_lon
+        assert grown.max_lon > box.max_lon
+
+    def test_expand_clamps_at_poles(self):
+        box = BoundingBox(89.99, 0.0, 90.0, 1.0)
+        grown = box.expand_m(10_000.0)
+        assert grown.max_lat == 90.0
+
+    def test_split_grid_counts_and_coverage(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 6.0)
+        cells = box.split_grid(2, 3)
+        assert len(cells) == 6
+        # Every cell sits inside the parent and the union is the parent.
+        u = cells[0]
+        for cell in cells[1:]:
+            u = u.union(cell)
+        assert u.as_tuple() == box.as_tuple()
+
+    def test_split_grid_invalid(self):
+        with pytest.raises(ValidationError):
+            BoundingBox(0, 0, 1, 1).split_grid(0, 2)
+
+    def test_center(self):
+        assert BoundingBox(0.0, 0.0, 2.0, 4.0).center == GeoPoint(1.0, 2.0)
+
+    def test_contains_coords_matches_contains(self):
+        box = BoundingBox(1.0, 1.0, 2.0, 2.0)
+        assert box.contains_coords(1.5, 1.5)
+        assert not box.contains_coords(0.5, 1.5)

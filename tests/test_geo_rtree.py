@@ -1,0 +1,96 @@
+"""Tests for the R-tree spatial index."""
+
+import random
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo import BoundingBox, GeoPoint, RTree
+
+
+def brute_force(points, query):
+    return {
+        value for point, value in points if query.contains(point)
+    }
+
+
+class TestRTree:
+    def test_empty_tree_searches_empty(self):
+        tree = RTree()
+        assert tree.search(BoundingBox(0, 0, 10, 10)) == []
+        assert len(tree) == 0
+
+    def test_min_fanout_enforced(self):
+        with pytest.raises(ValidationError):
+            RTree(max_entries=3)
+
+    def test_insert_and_point_search(self):
+        tree = RTree()
+        tree.insert_point(GeoPoint(5.0, 5.0), "a")
+        tree.insert_point(GeoPoint(6.0, 6.0), "b")
+        assert set(tree.search(BoundingBox(4.5, 4.5, 5.5, 5.5))) == {"a"}
+        assert len(tree) == 2
+
+    def test_matches_brute_force_on_random_points(self):
+        rng = random.Random(7)
+        tree = RTree(max_entries=8)
+        points = []
+        for i in range(500):
+            p = GeoPoint(rng.uniform(35, 41), rng.uniform(20, 28))
+            points.append((p, i))
+            tree.insert_point(p, i)
+        for _ in range(50):
+            lat1, lat2 = sorted((rng.uniform(35, 41), rng.uniform(35, 41)))
+            lon1, lon2 = sorted((rng.uniform(20, 28), rng.uniform(20, 28)))
+            query = BoundingBox(lat1, lon1, lat2, lon2)
+            assert set(tree.search(query)) == brute_force(points, query)
+
+    def test_duplicate_coordinates_allowed(self):
+        tree = RTree()
+        p = GeoPoint(1.0, 1.0)
+        for i in range(20):
+            tree.insert_point(p, i)
+        found = tree.search(BoundingBox(0.9, 0.9, 1.1, 1.1))
+        assert sorted(found) == list(range(20))
+
+    def test_delete_removes_one_entry(self):
+        tree = RTree()
+        p = GeoPoint(2.0, 2.0)
+        tree.insert_point(p, "x")
+        tree.insert_point(p, "y")
+        box = BoundingBox(2.0, 2.0, 2.0, 2.0)
+        assert tree.delete(box, "x") is True
+        assert tree.delete(box, "x") is False  # already gone
+        assert set(tree.search(BoundingBox(1, 1, 3, 3))) == {"y"}
+        assert len(tree) == 1
+
+    def test_delete_then_search_consistency(self):
+        rng = random.Random(13)
+        tree = RTree(max_entries=6)
+        points = []
+        for i in range(200):
+            p = GeoPoint(rng.uniform(0, 10), rng.uniform(0, 10))
+            points.append((p, i))
+            tree.insert_point(p, i)
+        # Delete half.
+        removed = set()
+        for p, i in points[:100]:
+            assert tree.delete(BoundingBox(p.lat, p.lon, p.lat, p.lon), i)
+            removed.add(i)
+        query = BoundingBox(0, 0, 10, 10)
+        remaining = set(tree.search(query))
+        assert remaining == {i for _p, i in points if i not in removed}
+
+    def test_search_point(self):
+        tree = RTree()
+        tree.insert(BoundingBox(0, 0, 5, 5), "area")
+        assert tree.search_point(GeoPoint(3, 3)) == ["area"]
+        assert tree.search_point(GeoPoint(6, 6)) == []
+
+    def test_items_returns_everything(self):
+        tree = RTree()
+        for i in range(50):
+            tree.insert_point(GeoPoint(float(i % 10), float(i // 10)), i)
+        items = tree.items()
+        assert len(items) == 50
+        assert {v for _box, v in items} == set(range(50))

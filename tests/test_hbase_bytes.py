@@ -1,0 +1,118 @@
+"""Tests for row-key byte encodings."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hbase import (
+    compose_key,
+    decode_int,
+    decode_int_desc,
+    encode_int,
+    encode_int_desc,
+    next_prefix,
+    split_key,
+)
+from repro.hbase.bytes_util import salt_for, uniform_split_points
+
+
+class TestIntEncoding:
+    def test_roundtrip(self):
+        for value in (0, 1, 255, 256, 1 << 40, (1 << 64) - 1):
+            assert decode_int(encode_int(value)) == value
+
+    def test_order_preserved(self):
+        values = [0, 5, 99, 100, 1_000_000, 1 << 50]
+        encoded = [encode_int(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            encode_int(-1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValidationError):
+            encode_int(1 << 64)
+        with pytest.raises(ValidationError):
+            encode_int(256, width=1)
+
+    def test_desc_roundtrip(self):
+        for value in (0, 7, 1 << 30):
+            assert decode_int_desc(encode_int_desc(value)) == value
+
+    def test_desc_reverses_order(self):
+        values = [0, 10, 1000, 1 << 40]
+        encoded = [encode_int_desc(v) for v in values]
+        assert encoded == sorted(encoded, reverse=True)
+
+
+class TestComposeKey:
+    def test_roundtrip_with_ascii_parts(self):
+        key = compose_key("user", "poi", "123")
+        assert split_key(key) == [b"user", b"poi", b"123"]
+
+    def test_str_and_bytes_parts(self):
+        assert compose_key(b"ab", "cd") == b"ab\x1fcd"
+
+    def test_non_string_part_rejected(self):
+        with pytest.raises(ValidationError):
+            compose_key("a", 5)
+
+    def test_key_ordering_follows_first_component(self):
+        a = compose_key(encode_int(1), encode_int(999))
+        b = compose_key(encode_int(2), encode_int(0))
+        assert a < b
+
+
+class TestNextPrefix:
+    def test_simple_increment(self):
+        assert next_prefix(b"abc") == b"abd"
+
+    def test_carry(self):
+        assert next_prefix(b"a\xff") == b"b"
+
+    def test_all_ff_means_unbounded(self):
+        assert next_prefix(b"\xff\xff") == b""
+
+    def test_prefix_scan_bounds(self):
+        prefix = b"user1"
+        stop = next_prefix(prefix)
+        assert prefix < prefix + b"\x00" < stop
+        assert not (prefix + b"zzz" >= stop)
+
+
+class TestSplitPointsAndSalt:
+    def test_uniform_split_points_count(self):
+        points = uniform_split_points(8)
+        assert len(points) == 7
+        assert points == sorted(points)
+
+    def test_single_region_no_points(self):
+        assert uniform_split_points(1) == []
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            uniform_split_points(0)
+
+    def test_salt_is_deterministic(self):
+        assert salt_for(42) == salt_for(42)
+        assert salt_for(42) != salt_for(43)
+
+    def test_salt_spreads_users_across_regions(self):
+        # With 32 uniform regions, 10k users should hit nearly all of
+        # them and no region should get more than ~3x its fair share.
+        points = uniform_split_points(32)
+        boundaries = [b""] + points
+
+        def region_of(salt):
+            idx = 0
+            for i, b in enumerate(boundaries):
+                if salt >= b:
+                    idx = i
+            return idx
+
+        counts = {}
+        for uid in range(10_000):
+            r = region_of(salt_for(uid))
+            counts[r] = counts.get(r, 0) + 1
+        assert len(counts) == 32
+        assert max(counts.values()) < 3 * (10_000 / 32)

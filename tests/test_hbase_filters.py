@@ -1,0 +1,120 @@
+"""Tests for scan filters (including range narrowing)."""
+
+import pytest
+
+from repro.hbase import (
+    AndFilter,
+    Cell,
+    ColumnFilter,
+    PrefixFilter,
+    Region,
+    RowRangeFilter,
+    ScanFilter,
+    TimestampRangeFilter,
+    ValuePredicateFilter,
+)
+
+
+def cell(row, ts=1, value=b"v", qualifier=b"q", family="f"):
+    return Cell(row=row, family=family, qualifier=qualifier, timestamp=ts,
+                value=value)
+
+
+class TestFilterSemantics:
+    def test_base_filter_accepts_everything(self):
+        f = ScanFilter()
+        assert f.accept(cell(b"anything"))
+        assert f.row_range() == (None, None)
+
+    def test_prefix_filter_narrows_range(self):
+        f = PrefixFilter(b"user1")
+        start, stop = f.row_range()
+        assert start == b"user1"
+        assert stop == b"user2"
+        assert f.accept(cell(b"user1-x"))
+        assert not f.accept(cell(b"user2-x"))
+
+    def test_row_range_filter(self):
+        f = RowRangeFilter(b"c", b"g")
+        assert not f.accept(cell(b"b"))
+        assert f.accept(cell(b"c"))  # start inclusive
+        assert f.accept(cell(b"f"))
+        assert not f.accept(cell(b"g"))  # stop exclusive
+        assert f.row_range() == (b"c", b"g")
+
+    def test_unbounded_row_range(self):
+        f = RowRangeFilter(None, b"m")
+        assert f.accept(cell(b"a"))
+        assert not f.accept(cell(b"z"))
+
+    def test_column_filter(self):
+        f = ColumnFilter("f", b"q1")
+        assert f.accept(cell(b"r", qualifier=b"q1"))
+        assert not f.accept(cell(b"r", qualifier=b"q2"))
+        assert not f.accept(cell(b"r", qualifier=b"q1", family="g"))
+        family_only = ColumnFilter("f")
+        assert family_only.accept(cell(b"r", qualifier=b"anything"))
+
+    def test_value_predicate_filter(self):
+        f = ValuePredicateFilter(lambda v: v.startswith(b"keep"))
+        assert f.accept(cell(b"r", value=b"keep-me"))
+        assert not f.accept(cell(b"r", value=b"drop-me"))
+
+    def test_timestamp_range_filter(self):
+        f = TimestampRangeFilter(10, 20)
+        assert not f.accept(cell(b"r", ts=9))
+        assert f.accept(cell(b"r", ts=10))
+        assert f.accept(cell(b"r", ts=19))
+        assert not f.accept(cell(b"r", ts=20))
+
+    def test_and_filter_conjunction(self):
+        f = AndFilter([PrefixFilter(b"u"), TimestampRangeFilter(5, 15)])
+        assert f.accept(cell(b"u1", ts=10))
+        assert not f.accept(cell(b"u1", ts=20))
+        assert not f.accept(cell(b"x1", ts=10))
+
+    def test_and_filter_range_intersection(self):
+        f = AndFilter([
+            RowRangeFilter(b"b", b"y"),
+            PrefixFilter(b"m"),  # [m, n)
+        ])
+        start, stop = f.row_range()
+        assert start == b"m"
+        assert stop == b"n"
+
+    def test_and_filter_disjoint_ranges_scan_empty(self):
+        region = Region(families=["f"])
+        for row in (b"a", b"m", b"z"):
+            region.put(cell(row))
+        f = AndFilter([RowRangeFilter(b"a", b"c"), RowRangeFilter(b"x", None)])
+        assert list(region.scan("f", scan_filter=f)) == []
+
+
+class TestFiltersInsideRegionScan:
+    def test_prefix_scan_skips_unrelated_rows(self):
+        region = Region(families=["f"])
+        for i in range(100):
+            region.put(cell(b"user%02d" % i))
+        rows = [c.row for c in region.scan("f", scan_filter=PrefixFilter(b"user5"))]
+        assert rows == [b"user5%d" % i for i in range(10)]
+
+    def test_value_filter_on_newest_version_only(self):
+        region = Region(families=["f"])
+        region.put(cell(b"r", ts=1, value=b"match"))
+        region.put(cell(b"r", ts=2, value=b"nomatch"))
+        f = ValuePredicateFilter(lambda v: v == b"match")
+        # The newest version fails the filter; the shadowed older
+        # version must NOT resurface.
+        assert list(region.scan("f", scan_filter=f)) == []
+
+    def test_combined_filters_in_scan(self):
+        region = Region(families=["f"])
+        region.put(cell(b"u1", ts=5, value=b"yes"))
+        region.put(cell(b"u2", ts=50, value=b"yes"))
+        region.put(cell(b"u3", ts=5, value=b"no"))
+        f = AndFilter([
+            TimestampRangeFilter(0, 10),
+            ValuePredicateFilter(lambda v: v == b"yes"),
+        ])
+        rows = [c.row for c in region.scan("f", scan_filter=f)]
+        assert rows == [b"u1"]

@@ -1,0 +1,157 @@
+"""Tests for the write-ahead log, crash recovery and minor compaction."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.hbase import Cell, Region, WriteAheadLog
+from repro.hbase.wal import WALRecord
+
+
+def cell(row, ts=1, value=b"v", qualifier=b"q", delete=False):
+    return Cell(row=row, family="f", qualifier=qualifier, timestamp=ts,
+                value=value, is_delete=delete)
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_increasing_sequences(self):
+        wal = WriteAheadLog()
+        s1 = wal.append(cell(b"a"))
+        s2 = wal.append(cell(b"b"))
+        assert s2 == s1 + 1
+        assert wal.last_sequence == s2
+        assert len(wal) == 2
+
+    def test_replay_in_order(self):
+        wal = WriteAheadLog()
+        for row in (b"x", b"y", b"z"):
+            wal.append(cell(row))
+        assert [c.row for c in wal.replay()] == [b"x", b"y", b"z"]
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        for row in (b"a", b"b", b"c"):
+            wal.append(cell(row))
+        dropped = wal.truncate_to(2)
+        assert dropped == 2
+        assert [c.row for c in wal.replay()] == [b"c"]
+
+    def test_replay_stops_at_torn_tail(self):
+        wal = WriteAheadLog()
+        wal.append(cell(b"good1"))
+        wal.append(cell(b"good2"))
+        wal.append(cell(b"torn"))
+        wal.corrupt_tail()
+        assert [c.row for c in wal.replay()] == [b"good1", b"good2"]
+
+    def test_corrupt_empty_log_rejected(self):
+        with pytest.raises(StorageError):
+            WriteAheadLog().corrupt_tail()
+
+    def test_record_checksum_detects_tampering(self):
+        wal = WriteAheadLog()
+        wal.append(cell(b"r", value=b"original"))
+        record = wal._records[0]
+        assert record.is_valid()
+        forged = WALRecord(
+            sequence=record.sequence,
+            cell=cell(b"r", value=b"forged"),
+            crc=record.crc,
+        )
+        assert not forged.is_valid()
+
+
+class TestCrashRecovery:
+    def test_unflushed_writes_recovered(self):
+        wal = WriteAheadLog()
+        region = Region(families=["f"], wal=wal)
+        region.put(cell(b"a", value=b"1"))
+        region.put(cell(b"b", value=b"2"))
+        # Crash: the region object (memstore) is lost; the WAL survives.
+        recovered = Region.recover(wal, families=["f"])
+        assert recovered.get(b"a", "f", b"q") == b"1"
+        assert recovered.get(b"b", "f", b"q") == b"2"
+
+    def test_flush_truncates_wal(self):
+        wal = WriteAheadLog()
+        region = Region(families=["f"], wal=wal)
+        region.put(cell(b"a"))
+        region.put(cell(b"b"))
+        assert len(wal) == 2
+        region.flush()  # full flush -> everything durable in store files
+        assert len(wal) == 0
+
+    def test_recovery_after_flush_and_more_writes(self):
+        wal = WriteAheadLog()
+        region = Region(families=["f"], wal=wal)
+        region.put(cell(b"flushed", value=b"old"))
+        region.flush()
+        surviving_files = list(region._store_files["f"])
+        region.put(cell(b"unflushed", value=b"new"))
+        # Crash; reopen store files + replay WAL.
+        recovered = Region.recover(wal, families=["f"])
+        recovered.adopt_store_files("f", surviving_files)
+        assert recovered.get(b"flushed", "f", b"q") == b"old"
+        assert recovered.get(b"unflushed", "f", b"q") == b"new"
+
+    def test_recovered_deletes_still_shadow(self):
+        wal = WriteAheadLog()
+        region = Region(families=["f"], wal=wal)
+        region.put(cell(b"r", ts=1))
+        region.delete(b"r", "f", b"q", timestamp=2)
+        recovered = Region.recover(wal, families=["f"])
+        assert recovered.get(b"r", "f", b"q") is None
+
+    def test_torn_tail_loses_only_last_write(self):
+        wal = WriteAheadLog()
+        region = Region(families=["f"], wal=wal)
+        region.put(cell(b"a"))
+        region.put(cell(b"b"))
+        wal.corrupt_tail()
+        recovered = Region.recover(wal, families=["f"])
+        assert recovered.get(b"a", "f", b"q") == b"v"
+        assert recovered.get(b"b", "f", b"q") is None
+
+
+class TestMinorCompaction:
+    def test_merges_files_without_dropping_tombstones(self):
+        region = Region(families=["f"])
+        region.put(cell(b"r", ts=1, value=b"live"))
+        region.flush()
+        region.delete(b"r", "f", b"q", timestamp=2)
+        region.flush()
+        assert region.store_file_count("f") == 2
+        region.minor_compact("f")
+        assert region.store_file_count("f") == 1
+        # The tombstone still shadows the put after minor compaction.
+        assert region.get(b"r", "f", b"q") is None
+        # All versions (put + tombstone) survive; a major compaction
+        # is what finally drops them.
+        assert region.approx_rows("f") == 2
+        region.compact()
+        assert region.approx_rows("f") == 0
+
+    def test_automatic_minor_compaction_threshold(self):
+        region = Region(families=["f"], minor_compaction_threshold=3)
+        for i in range(6):
+            region.put(cell(b"row%d" % i))
+            region.flush()
+        # Never accumulates 3+ files: each threshold hit merges to one.
+        assert region.store_file_count("f") < 3
+        for i in range(6):
+            assert region.get(b"row%d" % i, "f", b"q") == b"v"
+
+    def test_single_file_noop(self):
+        region = Region(families=["f"])
+        region.put(cell(b"a"))
+        region.flush()
+        region.minor_compact("f")
+        assert region.store_file_count("f") == 1
+
+    def test_preserves_all_versions(self):
+        region = Region(families=["f"])
+        for ts in (1, 2, 3):
+            region.put(cell(b"r", ts=ts, value=b"v%d" % ts))
+            region.flush()
+        region.minor_compact("f")
+        assert region.approx_rows("f") == 3
+        assert region.get(b"r", "f", b"q") == b"v3"

@@ -1,0 +1,133 @@
+"""Tests for the blog module: generation, editing, publishing."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core import MoDisSENSE
+from repro.core.repositories.poi import POI
+from repro.datagen.gps import GPSPoint
+from repro.errors import PluginError, ValidationError
+from repro.social import FriendInfo
+
+
+@pytest.fixture()
+def platform_with_day():
+    """A platform with one user whose day visits two POIs."""
+    p = MoDisSENSE(PlatformConfig.small())
+    fb = p.plugins["facebook"]
+    fb.add_profile(FriendInfo("fb_1", "Blogger", "pic"))
+    p.register_user("facebook", "fb_1", "pw", now=0.0)
+
+    p.poi_repository.add(
+        POI(poi_id=1, name="Morning Cafe", lat=37.9800, lon=23.7300,
+            keywords=("coffee",), category="cafe")
+    )
+    p.poi_repository.add(
+        POI(poi_id=2, name="Lunch Taverna", lat=37.9900, lon=23.7400,
+            keywords=("food",), category="restaurant")
+    )
+    day0 = 1_433_030_400  # 2015-05-31 00:00 UTC
+    for i in range(8):
+        p.push_gps([GPSPoint(1, 37.98001, 23.73001, day0 + 28_800 + i * 250)])
+    for i in range(8):
+        p.push_gps([GPSPoint(1, 37.99001, 23.74001, day0 + 43_200 + i * 250)])
+    yield p, day0
+    p.shutdown()
+
+
+class TestBlogGeneration:
+    def test_daily_blog_from_trajectory(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        assert blog.day == "2015-05-31"
+        assert [v.poi_name for v in blog.visits] == [
+            "Morning Cafe", "Lunch Taverna",
+        ]
+        assert blog.visits[0].arrival < blog.visits[1].arrival
+
+    def test_blog_persisted_for_user(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        stored = p.blogs_repository.for_user(1)
+        assert [b.blog_id for b in stored] == [blog.blog_id]
+
+
+class TestBlogEditing:
+    def test_reorder(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        edited = p.blog.reorder_visits(blog.blog_id, [1, 0])
+        assert [v.poi_name for v in edited.visits] == [
+            "Lunch Taverna", "Morning Cafe",
+        ]
+
+    def test_reorder_requires_permutation(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        with pytest.raises(ValidationError):
+            p.blog.reorder_visits(blog.blog_id, [0, 0])
+
+    def test_edit_times(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        edited = p.blog.edit_visit_times(
+            blog.blog_id, 0, arrival=day0 + 100, departure=day0 + 200
+        )
+        assert edited.visits[0].arrival == day0 + 100
+
+    def test_edit_times_validates_order(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        with pytest.raises(ValidationError):
+            p.blog.edit_visit_times(blog.blog_id, 0, arrival=500, departure=100)
+
+    def test_annotate(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        edited = p.blog.annotate_visit(blog.blog_id, 1, "best moussaka ever")
+        assert edited.visits[1].note == "best moussaka ever"
+
+    def test_bad_index_rejected(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        with pytest.raises(ValidationError):
+            p.blog.annotate_visit(blog.blog_id, 9, "nope")
+
+    def test_unknown_blog_rejected(self, platform_with_day):
+        p, _day0 = platform_with_day
+        with pytest.raises(ValidationError):
+            p.blog.reorder_visits(12345, [])
+
+
+class TestBlogPublishing:
+    def test_publish_posts_to_network(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        published = p.blog.publish(blog.blog_id, "facebook", now=100.0)
+        assert published.published_to == ("facebook",)
+        posts = p.plugins["facebook"].published
+        assert len(posts) == 1
+        assert "Morning Cafe" in posts[0].text
+        assert "Lunch Taverna" in posts[0].text
+
+    def test_publish_requires_linked_network(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        from repro.errors import AuthenticationError
+
+        with pytest.raises(AuthenticationError):
+            p.blog.publish(blog.blog_id, "twitter", now=100.0)
+
+    def test_publish_unknown_network(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        with pytest.raises(PluginError):
+            p.blog.publish(blog.blog_id, "myspace", now=100.0)
+
+    def test_render_text_includes_notes(self, platform_with_day):
+        p, day0 = platform_with_day
+        blog = p.generate_blog(1, day0, day0 + 86_400)
+        p.blog.annotate_visit(blog.blog_id, 0, "great espresso")
+        text = p.blog.render_text(p.blogs_repository.get(blog.blog_id))
+        assert "great espresso" in text
+        assert text.startswith("My day on 2015-05-31")

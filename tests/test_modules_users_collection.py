@@ -1,0 +1,186 @@
+"""Tests for user management, data collection, text processing, blogs."""
+
+import pytest
+
+from repro.config import PlatformConfig, SentimentConfig
+from repro.core import MoDisSENSE
+from repro.core.modules.data_collection import numeric_id
+from repro.datagen import ReviewGenerator, generate_pois
+from repro.errors import (
+    AuthenticationError,
+    NotTrainedError,
+    PluginError,
+    ValidationError,
+)
+from repro.social import CheckIn, FriendInfo, StatusUpdate
+
+
+@pytest.fixture()
+def platform():
+    p = MoDisSENSE(PlatformConfig.small())
+    fb = p.plugins["facebook"]
+    tw = p.plugins["twitter"]
+    for i in range(1, 8):
+        fb.add_profile(FriendInfo("fb_%d" % i, "User %d" % i, "pic"))
+    tw.add_profile(FriendInfo("tw_1", "User 1 on Twitter", "pic"))
+    for i in range(2, 6):
+        fb.add_friendship("fb_1", "fb_%d" % i)
+    yield p
+    p.shutdown()
+
+
+class TestUserManagement:
+    def test_register_is_idempotent_login(self, platform):
+        u1 = platform.register_user("facebook", "fb_1", "pw", now=0.0)
+        u2 = platform.register_user("facebook", "fb_1", "pw", now=1.0)
+        assert u1.user_id == u2.user_id
+        assert len(platform.user_management.all_users()) == 1
+
+    def test_bad_password_rejected(self, platform):
+        with pytest.raises(AuthenticationError):
+            platform.register_user("facebook", "fb_1", "wrong", now=0.0)
+
+    def test_unknown_network_rejected(self, platform):
+        with pytest.raises(PluginError):
+            platform.register_user("myspace", "ms_1", "pw", now=0.0)
+
+    def test_link_second_network(self, platform):
+        user = platform.register_user("facebook", "fb_1", "pw", now=0.0)
+        platform.user_management.link_network(
+            user.user_id, "twitter", "tw_1", "pw", now=1.0
+        )
+        assert user.linked_networks == ["facebook", "twitter"]
+        assert user.network_id("twitter") == "tw_1"
+
+    def test_cannot_steal_linked_account(self, platform):
+        platform.register_user("facebook", "fb_1", "pw", now=0.0)
+        other = platform.register_user("facebook", "fb_2", "pw", now=0.0)
+        with pytest.raises(AuthenticationError):
+            platform.user_management.link_network(
+                other.user_id, "facebook", "fb_1", "pw", now=1.0
+            )
+
+    def test_unlink(self, platform):
+        user = platform.register_user("facebook", "fb_1", "pw", now=0.0)
+        platform.user_management.unlink_network(user.user_id, "facebook")
+        assert user.linked_networks == []
+        with pytest.raises(AuthenticationError):
+            platform.user_management.validate_token(user.user_id, "facebook", 1.0)
+
+    def test_expired_token_detected(self, platform):
+        user = platform.register_user("facebook", "fb_1", "pw", now=0.0)
+        with pytest.raises(AuthenticationError):
+            platform.user_management.validate_token(
+                user.user_id, "facebook", now=100_000.0
+            )
+
+    def test_unknown_user(self, platform):
+        with pytest.raises(ValidationError):
+            platform.user_management.get(42)
+
+
+class TestNumericId:
+    def test_extracts_digits(self):
+        assert numeric_id("fb_123") == 123
+        assert numeric_id("tw_7") == 7
+
+    def test_no_digits_rejected(self):
+        with pytest.raises(PluginError):
+            numeric_id("anonymous")
+
+
+class TestTextProcessing:
+    def test_untrained_module_refuses(self, platform):
+        with pytest.raises(NotTrainedError):
+            platform.text_processing.process_comment(1, 1, 10, "nice")
+
+    def test_comment_scored_and_persisted(self, platform):
+        corpus = ReviewGenerator(seed=2, capacity=2000).labeled_texts(600)
+        platform.text_processing.train(corpus)
+        record = platform.text_processing.process_comment(
+            1, 7, 10, "excellent wonderful delicious"
+        )
+        assert record.sentiment > 0.5
+        stored = platform.text_repository.comments(1, 7)
+        assert len(stored) == 1
+        assert stored[0].sentiment == record.sentiment
+
+    def test_empty_comment_neutral(self, platform):
+        corpus = ReviewGenerator(seed=2, capacity=2000).labeled_texts(600)
+        platform.text_processing.train(corpus)
+        record = platform.text_processing.process_comment(1, 7, 10, "   ")
+        assert record.sentiment == 0.5
+
+
+class TestDataCollection:
+    def _prepare(self, platform):
+        pois = generate_pois(count=50, seed=3)
+        platform.load_pois(pois)
+        corpus = ReviewGenerator(seed=2, capacity=2000).labeled_texts(600)
+        platform.text_processing.train(corpus)
+        fb = platform.plugins["facebook"]
+        # Friends 2..5 check in at POI 1 with polar comments.
+        fb.add_checkin(CheckIn("fb_2", 1, pois[0].lat, pois[0].lon, 100,
+                               "excellent wonderful lovely"))
+        fb.add_checkin(CheckIn("fb_3", 1, pois[0].lat, pois[0].lon, 150,
+                               "terrible awful rude"))
+        fb.add_checkin(CheckIn("fb_1", 2, pois[1].lat, pois[1].lon, 200,
+                               "delicious superb"))
+        fb.add_status(StatusUpdate("fb_2", 160, "hello world"))
+        return pois
+
+    def test_collects_user_and_friend_checkins(self, platform):
+        self._prepare(platform)
+        platform.register_user("facebook", "fb_1", "pw", now=1000.0)
+        report = platform.collect(now=1000)
+        assert report.users_scanned == 1
+        assert report.checkins_ingested == 3
+        assert report.comments_classified == 3
+        assert report.friends_stored == 4
+        assert report.statuses_seen == 1
+        assert report.statuses_classified == 1
+
+    def test_status_updates_reach_text_repository(self, platform):
+        from repro.core.modules.data_collection import NO_POI
+
+        self._prepare(platform)
+        platform.register_user("facebook", "fb_1", "pw", now=1000.0)
+        platform.collect(now=1000)
+        # fb_2 posted "hello world" at ts=160; it lands under NO_POI.
+        stored = platform.text_repository.comments(2, NO_POI)
+        assert len(stored) == 1
+        assert stored[0].text == "hello world"
+
+    def test_visit_grades_follow_sentiment(self, platform):
+        self._prepare(platform)
+        platform.register_user("facebook", "fb_1", "pw", now=1000.0)
+        platform.collect(now=1000)
+        positive = platform.visits_repository.visits_of_user(2)
+        negative = platform.visits_repository.visits_of_user(3)
+        assert positive[0].grade > 0.5
+        assert negative[0].grade < 0.5
+
+    def test_visits_carry_replicated_poi_info(self, platform):
+        pois = self._prepare(platform)
+        platform.register_user("facebook", "fb_1", "pw", now=1000.0)
+        platform.collect(now=1000)
+        visit = platform.visits_repository.visits_of_user(2)[0]
+        assert visit.poi_name == pois[0].name
+        assert visit.keywords == tuple(pois[0].keywords)
+
+    def test_incremental_collection_no_duplicates(self, platform):
+        self._prepare(platform)
+        platform.register_user("facebook", "fb_1", "pw", now=1000.0)
+        first = platform.collect(now=1000)
+        second = platform.collect(now=2000)
+        assert first.checkins_ingested == 3
+        assert second.checkins_ingested == 0  # nothing new since watermark
+
+    def test_friend_lists_persisted(self, platform):
+        self._prepare(platform)
+        user = platform.register_user("facebook", "fb_1", "pw", now=1000.0)
+        platform.collect(now=1000)
+        friends = platform.social_info.get_friends(user.user_id, "facebook")
+        assert {f.network_user_id for f in friends} == {
+            "fb_2", "fb_3", "fb_4", "fb_5",
+        }

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import bisect
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import BoundingBox, GeoPoint, RTree, geohash_decode, geohash_encode
+from repro.hbase import (
+    Cell,
+    MemStore,
+    Region,
+    decode_int,
+    decode_int_desc,
+    encode_int,
+    encode_int_desc,
+    next_prefix,
+)
+from repro.text import porter_stem
+from repro.text.naive_bayes import NaiveBayesClassifier
+
+lat_strategy = st.floats(min_value=-90, max_value=90, allow_nan=False)
+lon_strategy = st.floats(min_value=-180, max_value=180, allow_nan=False)
+uint_strategy = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestIntEncodingProperties:
+    @given(uint_strategy)
+    def test_roundtrip(self, value):
+        assert decode_int(encode_int(value)) == value
+        assert decode_int_desc(encode_int_desc(value)) == value
+
+    @given(uint_strategy, uint_strategy)
+    def test_order_preserving(self, a, b):
+        assert (a < b) == (encode_int(a) < encode_int(b))
+        assert (a < b) == (encode_int_desc(a) > encode_int_desc(b))
+
+    @given(st.binary(min_size=1, max_size=12))
+    def test_next_prefix_bounds_prefix_scans(self, prefix):
+        stop = next_prefix(prefix)
+        if stop:
+            assert prefix < stop
+            # Everything with the prefix sorts before stop.
+            assert prefix + b"\xff\xff\xff" < stop
+
+
+class TestGeohashProperties:
+    @given(lat_strategy, lon_strategy, st.integers(min_value=1, max_value=12))
+    def test_decode_contains_encoded_point(self, lat, lon, precision):
+        code = geohash_encode(lat, lon, precision)
+        mid_lat, mid_lon, lat_err, lon_err = geohash_decode(code)
+        assert abs(mid_lat - lat) <= lat_err + 1e-12
+        assert abs(mid_lon - lon) <= lon_err + 1e-12
+
+    @given(lat_strategy, lon_strategy)
+    def test_nearby_points_share_prefix(self, lat, lon):
+        # A point within the cell of a precision-5 hash shares its prefix
+        # when re-encoded at equal or lower precision... verified via
+        # decode: the cell's center re-encodes to the same hash.
+        code = geohash_encode(lat, lon, 5)
+        mid_lat, mid_lon, _e1, _e2 = geohash_decode(code)
+        assert geohash_encode(mid_lat, mid_lon, 5) == code
+
+
+class TestRTreeProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-80, max_value=80, allow_nan=False),
+                st.floats(min_value=-170, max_value=170, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+        st.tuples(
+            st.floats(min_value=-80, max_value=80, allow_nan=False),
+            st.floats(min_value=-80, max_value=80, allow_nan=False),
+            st.floats(min_value=-170, max_value=170, allow_nan=False),
+            st.floats(min_value=-170, max_value=170, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_search_matches_linear_scan(self, coords, query_box):
+        lat1, lat2 = sorted(query_box[:2])
+        lon1, lon2 = sorted(query_box[2:])
+        query = BoundingBox(lat1, lon1, lat2, lon2)
+        tree = RTree(max_entries=6)
+        points = []
+        for i, (lat, lon) in enumerate(coords):
+            p = GeoPoint(lat, lon)
+            points.append((p, i))
+            tree.insert_point(p, i)
+        expected = {i for p, i in points if query.contains(p)}
+        assert set(tree.search(query)) == expected
+
+
+class TestMemStoreProperties:
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=6),
+                      st.integers(min_value=0, max_value=100)),
+            min_size=0,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scan_always_sorted(self, entries):
+        store = MemStore()
+        for row, ts in entries:
+            store.put(
+                Cell(row=row, family="f", qualifier=b"q", timestamp=ts)
+            )
+        keys = [c.sort_key() for c in store.scan()]
+        assert keys == sorted(keys)
+
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=4),
+                      st.integers(min_value=0, max_value=20),
+                      st.binary(max_size=4)),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_region_get_returns_newest_version(self, puts):
+        region = Region(families=["f"])
+        newest = {}
+        for row, ts, value in puts:
+            region.put(
+                Cell(row=row, family="f", qualifier=b"q", timestamp=ts,
+                     value=value)
+            )
+            prev = newest.get(row)
+            if prev is None or ts >= prev[0]:
+                newest[row] = (ts, value)
+        for row, (_ts, value) in newest.items():
+            assert region.get(row, "f", b"q") == value
+
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=4),
+                      st.integers(min_value=0, max_value=20),
+                      st.binary(max_size=4)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flush_and_compact_preserve_reads(self, puts):
+        plain = Region(families=["f"])
+        lsm = Region(families=["f"])
+        for i, (row, ts, value) in enumerate(puts):
+            cell = Cell(row=row, family="f", qualifier=b"q", timestamp=ts,
+                        value=value)
+            plain.put(cell)
+            lsm.put(cell)
+            if i % 7 == 3:
+                lsm.flush()
+        lsm.compact()
+        rows = {row for row, _ts, _v in puts}
+        for row in rows:
+            assert plain.get(row, "f", b"q") == lsm.get(row, "f", b"q")
+
+
+class TestStemmerProperties:
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_stemming_never_grows_much_or_crashes(self, word):
+        stem = porter_stem(word)
+        assert stem
+        assert len(stem) <= len(word) + 1  # step1b may add an 'e'
+
+
+class TestNaiveBayesProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.dictionaries(
+                    st.sampled_from(["a", "b", "c", "d", "e"]),
+                    st.integers(min_value=1, max_value=5),
+                    min_size=1,
+                    max_size=4,
+                ),
+                st.integers(min_value=0, max_value=1),
+            ),
+            min_size=2,
+            max_size=60,
+        ).filter(lambda ex: {l for _c, l in ex} == {0, 1})
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_proba_is_valid_and_matches_prediction(self, examples):
+        nb = NaiveBayesClassifier()
+        nb.train(examples)
+        for counts, _label in examples:
+            p = nb.predict_proba(counts)
+            assert 0.0 <= p <= 1.0
+            assert (p >= 0.5) == (nb.predict(counts) == 1)

@@ -1,0 +1,126 @@
+"""Property-based tests on repository key encoding and windowed scans.
+
+The visits row key packs salt, user id, descending timestamp and POI id
+into raw bytes; any encoding slip (like a separator byte inside a
+fixed-width integer) silently corrupts scans.  These properties pin the
+whole key path against a brute-force model.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ClusterConfig
+from repro.core.repositories.text_repo import CommentRecord, TextRepository
+from repro.core.repositories.visits import VisitsRepository, VisitStruct
+from repro.hbase import HBaseCluster
+
+user_ids = st.integers(min_value=1, max_value=1 << 40)
+timestamps = st.integers(min_value=0, max_value=1 << 40)
+poi_ids = st.integers(min_value=1, max_value=1 << 20)
+
+
+def fresh_visits_repo():
+    cluster = HBaseCluster(ClusterConfig(num_nodes=2, regions_per_table=4))
+    return VisitsRepository(cluster, num_regions=4), cluster
+
+
+class TestVisitKeyProperties:
+    @given(
+        st.lists(
+            st.tuples(user_ids, timestamps, poi_ids),
+            min_size=1,
+            max_size=40,
+            unique_by=lambda t: (t[0], t[1], t[2]),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_store_scan_roundtrip_exact(self, triples):
+        repo, cluster = fresh_visits_repo()
+        try:
+            for uid, ts, pid in triples:
+                repo.store(
+                    VisitStruct(user_id=uid, poi_id=pid, timestamp=ts, grade=0.5)
+                )
+            got = {(v.user_id, v.timestamp, v.poi_id) for v in repo.all_visits()}
+            assert got == set(triples)
+        finally:
+            cluster.shutdown()
+
+    @given(
+        user_ids,
+        st.lists(st.tuples(timestamps, poi_ids), min_size=1, max_size=30,
+                 unique_by=lambda t: t),
+        timestamps,
+        timestamps,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_window_scan_equals_filter(self, uid, visits, a, b):
+        since, until = sorted((a, b))
+        repo, cluster = fresh_visits_repo()
+        try:
+            for ts, pid in visits:
+                repo.store(
+                    VisitStruct(user_id=uid, poi_id=pid, timestamp=ts, grade=0.1)
+                )
+            got = {
+                (v.timestamp, v.poi_id)
+                for v in repo.visits_of_user(uid, since=since, until=until)
+            }
+            expected = {
+                (ts, pid) for ts, pid in visits if since <= ts < until
+            }
+            assert got == expected
+        finally:
+            cluster.shutdown()
+
+    @given(
+        user_ids,
+        st.lists(st.tuples(timestamps, poi_ids), min_size=1, max_size=30,
+                 unique_by=lambda t: t),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scan_order_is_newest_first(self, uid, visits):
+        repo, cluster = fresh_visits_repo()
+        try:
+            for ts, pid in visits:
+                repo.store(
+                    VisitStruct(user_id=uid, poi_id=pid, timestamp=ts, grade=0.1)
+                )
+            got = [v.timestamp for v in repo.visits_of_user(uid)]
+            assert got == sorted(got, reverse=True)
+        finally:
+            cluster.shutdown()
+
+
+class TestTextKeyProperties:
+    @given(
+        st.lists(
+            st.tuples(user_ids, poi_ids, timestamps),
+            min_size=1,
+            max_size=30,
+            unique_by=lambda t: t,
+        ),
+        timestamps,
+        timestamps,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_comment_window_scan_equals_filter(self, triples, a, b):
+        since, until = sorted((a, b))
+        cluster = HBaseCluster(ClusterConfig(num_nodes=2, regions_per_table=4))
+        try:
+            repo = TextRepository(cluster, num_regions=4)
+            for uid, pid, ts in triples:
+                repo.store(CommentRecord(uid, pid, ts, "t", 0.5))
+            probe_uid, probe_pid, _ = triples[0]
+            got = {
+                c.timestamp
+                for c in repo.comments(probe_uid, probe_pid, since, until)
+            }
+            expected = {
+                ts
+                for uid, pid, ts in triples
+                if uid == probe_uid and pid == probe_pid and since <= ts < until
+            }
+            assert got == expected
+        finally:
+            cluster.shutdown()

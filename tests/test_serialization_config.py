@@ -1,0 +1,124 @@
+"""Tests for cell serialization helpers and platform configuration."""
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    JobsConfig,
+    PlatformConfig,
+    SentimentConfig,
+)
+from repro.core.serialization import (
+    decode_compressed_json,
+    decode_float,
+    decode_json,
+    encode_compressed_json,
+    encode_float,
+    encode_json,
+)
+from repro.errors import ConfigError, StorageError
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        value = {"name": "POI", "grade": 0.75, "keywords": ["a", "b"]}
+        assert decode_json(encode_json(value)) == value
+
+    def test_json_is_canonical(self):
+        a = encode_json({"b": 1, "a": 2})
+        b = encode_json({"a": 2, "b": 1})
+        assert a == b  # sorted keys -> byte-identical cells
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(StorageError):
+            encode_json({"bad": object()})
+
+    def test_invalid_bytes_rejected(self):
+        with pytest.raises(StorageError):
+            decode_json(b"\xff\xfe not json")
+
+    def test_compressed_roundtrip_and_shrinks(self):
+        friends = [{"id": "fb_%d" % i, "name": "Friend %d" % i,
+                    "picture": "https://img/%d.jpg" % i} for i in range(500)]
+        blob = encode_compressed_json(friends)
+        assert decode_compressed_json(blob) == friends
+        assert len(blob) < len(encode_json(friends)) / 2
+
+    def test_compressed_rejects_plain_json(self):
+        with pytest.raises(StorageError):
+            decode_compressed_json(encode_json({"x": 1}))
+
+    def test_float_roundtrip(self):
+        for value in (0.0, -1.5, 3.14159, 1e-9, 2.0):
+            assert decode_float(encode_float(value)) == value
+
+    def test_float_invalid(self):
+        with pytest.raises(StorageError):
+            decode_float(b"not-a-float")
+
+
+class TestConfigs:
+    def test_cluster_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(num_nodes=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(cores_per_node=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(regions_per_table=0)
+
+    def test_total_cores(self):
+        assert ClusterConfig(num_nodes=4, cores_per_node=2).total_cores == 8
+
+    def test_sentiment_presets(self):
+        baseline = SentimentConfig.baseline()
+        assert not baseline.use_tf
+        assert not baseline.use_bigrams
+        assert not baseline.use_bns
+        assert baseline.min_occurrences == 0
+        # Baseline keeps the preprocessing steps.
+        assert baseline.stem and baseline.remove_stopwords and baseline.lowercase
+        optimized = SentimentConfig.optimized()
+        assert optimized.use_tf and optimized.use_bigrams and optimized.use_bns
+        assert optimized.min_occurrences > 0
+
+    def test_sentiment_validation(self):
+        with pytest.raises(ConfigError):
+            SentimentConfig(min_occurrences=-1)
+        with pytest.raises(ConfigError):
+            SentimentConfig(bns_keep_fraction=0.0)
+        with pytest.raises(ConfigError):
+            SentimentConfig(bns_keep_fraction=1.5)
+
+    def test_jobs_validation(self):
+        with pytest.raises(ConfigError):
+            JobsConfig(dbscan_eps_m=0)
+        with pytest.raises(ConfigError):
+            JobsConfig(dbscan_min_points=0)
+
+    def test_platform_presets(self):
+        small = PlatformConfig.small()
+        assert small.cluster.num_nodes == 4
+        paper = PlatformConfig.paper(8)
+        assert paper.cluster.num_nodes == 8
+        with pytest.raises(ConfigError):
+            PlatformConfig.paper(7)
+
+
+class TestMergeAccounting:
+    def test_results_drive_merge_cost(self):
+        from repro.cluster import ClusterSimulation, Task
+
+        sim = ClusterSimulation(ClusterConfig(num_nodes=2))
+        sim.place_regions([0, 1])
+        few = sim.run_query(
+            [Task(region_id=0, records_scanned=1000, results_returned=1)]
+        )
+        many = sim.run_query(
+            [Task(region_id=0, records_scanned=1000, results_returned=100000)]
+        )
+        assert many.latency_s > few.latency_s
+        # Merge delta equals the cost model's per-item price exactly.
+        cm = sim.cost_model
+        assert many.latency_s - few.latency_s == pytest.approx(
+            cm.merge_cost_s(100000 - 1)
+        )

@@ -1,0 +1,156 @@
+"""Tests for the social substrate: graph, OAuth, simulated networks."""
+
+import pytest
+
+from repro.errors import AuthenticationError, PluginError, ValidationError
+from repro.social import (
+    CheckIn,
+    FriendInfo,
+    OAuthProvider,
+    SimulatedNetwork,
+    SocialGraph,
+    StatusUpdate,
+)
+
+
+class TestSocialGraph:
+    def test_friendship_is_symmetric(self):
+        g = SocialGraph()
+        g.add_friendship(1, 2)
+        assert g.are_friends(1, 2)
+        assert g.are_friends(2, 1)
+        assert g.friends_of(1) == [2]
+
+    def test_self_friendship_rejected(self):
+        with pytest.raises(ValidationError):
+            SocialGraph().add_friendship(1, 1)
+
+    def test_remove_friendship(self):
+        g = SocialGraph()
+        g.add_friendship(1, 2)
+        g.remove_friendship(1, 2)
+        assert not g.are_friends(1, 2)
+
+    def test_degree_and_edges(self):
+        g = SocialGraph()
+        g.add_friendship(1, 2)
+        g.add_friendship(1, 3)
+        assert g.degree(1) == 2
+        assert g.num_edges() == 2
+
+    def test_random_uniform_hits_mean_degree(self):
+        g = SocialGraph.random_uniform(range(2000), mean_degree=10, seed=4)
+        degrees = [g.degree(u) for u in g.users()]
+        mean = sum(degrees) / len(degrees)
+        assert 8 <= mean <= 12
+
+    def test_preferential_attachment_has_heavy_tail(self):
+        g = SocialGraph.preferential_attachment(range(2000), edges_per_user=4, seed=4)
+        degrees = sorted((g.degree(u) for u in g.users()), reverse=True)
+        mean = sum(degrees) / len(degrees)
+        assert degrees[0] > 5 * mean  # hubs exist
+
+    def test_generators_deterministic(self):
+        a = SocialGraph.random_uniform(range(100), 5, seed=9)
+        b = SocialGraph.random_uniform(range(100), 5, seed=9)
+        assert a.num_edges() == b.num_edges()
+        for u in range(100):
+            assert a.friends_of(u) == b.friends_of(u)
+
+
+class TestOAuth:
+    def test_token_lifecycle(self):
+        oauth = OAuthProvider("facebook", token_ttl_s=100.0)
+        oauth.register_user("fb_1", "secret")
+        token = oauth.authorize("fb_1", "secret", now=0.0)
+        assert oauth.validate(token.token, now=50.0).network_user_id == "fb_1"
+        with pytest.raises(AuthenticationError):
+            oauth.validate(token.token, now=100.0)  # expired
+
+    def test_bad_credentials(self):
+        oauth = OAuthProvider("facebook")
+        oauth.register_user("fb_1", "secret")
+        with pytest.raises(AuthenticationError):
+            oauth.authorize("fb_1", "wrong", now=0.0)
+        with pytest.raises(AuthenticationError):
+            oauth.authorize("unknown", "x", now=0.0)
+
+    def test_revoke(self):
+        oauth = OAuthProvider("facebook")
+        oauth.register_user("fb_1", "pw")
+        token = oauth.authorize("fb_1", "pw", now=0.0)
+        oauth.revoke(token.token)
+        with pytest.raises(AuthenticationError):
+            oauth.validate(token.token, now=1.0)
+
+    def test_tokens_are_unique(self):
+        oauth = OAuthProvider("facebook")
+        oauth.register_user("fb_1", "pw")
+        t1 = oauth.authorize("fb_1", "pw", now=0.0)
+        t2 = oauth.authorize("fb_1", "pw", now=1.0)
+        assert t1.token != t2.token
+
+
+class TestSimulatedNetwork:
+    @pytest.fixture()
+    def network(self):
+        net = SimulatedNetwork("facebook")
+        for i in (1, 2, 3):
+            net.add_profile(FriendInfo("fb_%d" % i, "User %d" % i, "pic%d" % i))
+        net.add_friendship("fb_1", "fb_2")
+        net.add_checkin(CheckIn("fb_2", poi_id=7, lat=37.9, lon=23.7,
+                                timestamp=100, comment="nice"))
+        net.add_status(StatusUpdate("fb_2", timestamp=150, text="hello"))
+        return net
+
+    def _token(self, network, user="fb_1"):
+        return network.oauth.authorize(user, "pw", now=0.0)
+
+    def test_get_profile(self, network):
+        token = self._token(network)
+        assert network.get_profile(token).name == "User 1"
+
+    def test_get_friends(self, network):
+        token = self._token(network)
+        friends = network.get_friends(token)
+        assert [f.network_user_id for f in friends] == ["fb_2"]
+
+    def test_checkins_visible_for_friends_only(self, network):
+        token = self._token(network)
+        checkins = network.get_checkins(token, "fb_2", 0, 200)
+        assert len(checkins) == 1
+        # fb_3 is not a friend of fb_1.
+        with pytest.raises(PluginError):
+            network.get_checkins(token, "fb_3", 0, 200)
+
+    def test_checkin_time_window(self, network):
+        token = self._token(network)
+        assert network.get_checkins(token, "fb_2", 0, 100) == []
+        assert len(network.get_checkins(token, "fb_2", 100, 101)) == 1
+
+    def test_own_data_always_visible(self, network):
+        token = self._token(network, user="fb_2")
+        assert len(network.get_checkins(token, "fb_2", 0, 200)) == 1
+
+    def test_statuses(self, network):
+        token = self._token(network)
+        statuses = network.get_status_updates(token, "fb_2", 0, 200)
+        assert statuses[0].text == "hello"
+
+    def test_publish(self, network):
+        token = self._token(network)
+        network.publish(token, "my blog")
+        assert network.published[0].text == "my blog"
+        assert network.published[0].network_user_id == "fb_1"
+
+    def test_cross_network_token_rejected(self, network):
+        other = SimulatedNetwork("twitter")
+        other.add_profile(FriendInfo("tw_1", "T", "p"))
+        foreign = other.oauth.authorize("tw_1", "pw", now=0.0)
+        with pytest.raises(PluginError):
+            network.get_checkins(foreign, "fb_2", 0, 200)
+
+    def test_non_numeric_id_rejected(self):
+        net = SimulatedNetwork("facebook")
+        with pytest.raises(PluginError):
+            net.add_profile(FriendInfo("no-digits", "X", "p"))

@@ -1,0 +1,198 @@
+"""Tests for the query layer: predicates, planner, engine."""
+
+import pytest
+
+from repro.errors import QueryError, TableNotFoundError
+from repro.geo import BoundingBox
+from repro.sqlstore import (
+    And,
+    BBoxContains,
+    Column,
+    ColumnType,
+    Eq,
+    HashIndex,
+    In,
+    KeywordsAny,
+    OrderedIndex,
+    Query,
+    Range,
+    SpatialIndex,
+    SqlEngine,
+    TableSchema,
+)
+
+
+@pytest.fixture()
+def engine():
+    eng = SqlEngine()
+    eng.create_table(
+        TableSchema(
+            name="pois",
+            columns=[
+                Column("poi_id", ColumnType.INTEGER),
+                Column("name", ColumnType.TEXT),
+                Column("lat", ColumnType.FLOAT),
+                Column("lon", ColumnType.FLOAT),
+                Column("keywords", ColumnType.TEXT_ARRAY, default=[]),
+                Column("category", ColumnType.TEXT, default="misc"),
+                Column("hotness", ColumnType.FLOAT, default=0.0),
+            ],
+            primary_key="poi_id",
+        )
+    )
+    eng.create_index("pois", SpatialIndex("lat", "lon"))
+    eng.create_index("pois", OrderedIndex("hotness"))
+    eng.create_index("pois", HashIndex("category"))
+    rows = [
+        (1, "Taverna", 37.98, 23.73, ["food", "taverna"], "restaurant", 5.0),
+        (2, "Cafe", 37.99, 23.74, ["coffee"], "cafe", 8.0),
+        (3, "Museum", 40.64, 22.94, ["art"], "museum", 3.0),
+        (4, "Beach Bar", 35.34, 25.14, ["drinks", "beach"], "bar", 9.0),
+        (5, "Bistro", 37.97, 23.72, ["food"], "restaurant", 7.0),
+    ]
+    for poi_id, name, lat, lon, kw, cat, hot in rows:
+        eng.insert(
+            "pois",
+            {
+                "poi_id": poi_id,
+                "name": name,
+                "lat": lat,
+                "lon": lon,
+                "keywords": kw,
+                "category": cat,
+                "hotness": hot,
+            },
+        )
+    return eng
+
+
+ATHENS = BoundingBox(37.9, 23.6, 38.1, 23.8)
+
+
+class TestPredicates:
+    def test_eq_in_range(self):
+        row = {"a": 5}
+        assert Eq("a", 5).matches(row)
+        assert not Eq("a", 6).matches(row)
+        assert In("a", [4, 5]).matches(row)
+        assert Range("a", low=5, high=6).matches(row)
+        assert not Range("a", low=5, high=6, include_low=False).matches(row)
+        assert Range("a", low=4, high=5, include_high=True).matches(row)
+
+    def test_range_none_value(self):
+        assert not Range("a", low=1).matches({"a": None})
+
+    def test_keywords_any_case_insensitive(self):
+        pred = KeywordsAny("kw", ["Food"])
+        assert pred.matches({"kw": ["FOOD", "other"]})
+        assert not pred.matches({"kw": ["drinks"]})
+        assert not pred.matches({"kw": []})
+
+    def test_and_flattens(self):
+        pred = And(Eq("a", 1), And(Eq("b", 2), Eq("c", 3)))
+        assert len(pred.predicates) == 3
+
+
+class TestPlanner:
+    def test_bbox_uses_spatial_index(self, engine):
+        plan = engine.explain(
+            Query(table="pois", where=BBoxContains("lat", "lon", ATHENS))
+        )
+        assert plan.access_path == "spatial index scan"
+
+    def test_eq_uses_hash_index(self, engine):
+        plan = engine.explain(Query(table="pois", where=Eq("category", "cafe")))
+        assert plan.access_path == "index scan"
+        assert plan.index_column == "category"
+
+    def test_range_uses_ordered_index(self, engine):
+        plan = engine.explain(Query(table="pois", where=Range("hotness", low=5.0)))
+        assert plan.access_path == "index range scan"
+
+    def test_unindexed_falls_back_to_seq_scan(self, engine):
+        plan = engine.explain(Query(table="pois", where=Eq("name", "Cafe")))
+        assert plan.access_path == "seq scan"
+
+    def test_spatial_preferred_over_equality(self, engine):
+        plan = engine.explain(
+            Query(
+                table="pois",
+                where=And(
+                    Eq("category", "restaurant"),
+                    BBoxContains("lat", "lon", ATHENS),
+                ),
+            )
+        )
+        assert plan.access_path == "spatial index scan"
+        assert len(plan.residual_predicates) == 1
+
+
+class TestSelect:
+    def test_bbox_query(self, engine):
+        rows = engine.select(
+            Query(table="pois", where=BBoxContains("lat", "lon", ATHENS))
+        )
+        assert {r["poi_id"] for r in rows} == {1, 2, 5}
+
+    def test_combined_bbox_keywords(self, engine):
+        rows = engine.select(
+            Query(
+                table="pois",
+                where=And(
+                    BBoxContains("lat", "lon", ATHENS),
+                    KeywordsAny("keywords", ["food"]),
+                ),
+            )
+        )
+        assert {r["poi_id"] for r in rows} == {1, 5}
+
+    def test_order_by_desc_with_limit(self, engine):
+        rows = engine.select(
+            Query(table="pois", order_by=("hotness", True), limit=2)
+        )
+        assert [r["poi_id"] for r in rows] == [4, 2]
+
+    def test_order_by_asc(self, engine):
+        rows = engine.select(Query(table="pois", order_by=("hotness", False)))
+        assert [r["poi_id"] for r in rows] == [3, 1, 5, 2, 4]
+
+    def test_projection(self, engine):
+        rows = engine.select(
+            Query(table="pois", where=Eq("category", "cafe"), columns=["name"])
+        )
+        assert rows == [{"name": "Cafe"}]
+
+    def test_range_select(self, engine):
+        rows = engine.select(
+            Query(table="pois", where=Range("hotness", low=7.0, high=9.0))
+        )
+        assert {r["poi_id"] for r in rows} == {2, 5}
+
+    def test_in_select(self, engine):
+        rows = engine.select(
+            Query(table="pois", where=In("category", ["cafe", "bar"]))
+        )
+        assert {r["poi_id"] for r in rows} == {2, 4}
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(TableNotFoundError):
+            engine.select(Query(table="nope"))
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError):
+            Query(table="pois", limit=-1)
+
+    def test_stats_track_access_paths(self, engine):
+        before = engine.stats["index_scans"]
+        engine.select(Query(table="pois", where=Eq("category", "cafe")))
+        assert engine.stats["index_scans"] == before + 1
+        before_seq = engine.stats["seq_scans"]
+        engine.select(Query(table="pois", where=Eq("name", "Cafe")))
+        assert engine.stats["seq_scans"] == before_seq + 1
+
+    def test_update_visible_in_select(self, engine):
+        table = engine.table("pois")
+        rid = next(iter(table.rids_by_pk(3)))
+        engine.update("pois", rid, {"hotness": 99.0})
+        rows = engine.select(Query(table="pois", order_by=("hotness", True), limit=1))
+        assert rows[0]["poi_id"] == 3

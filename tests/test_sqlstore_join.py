@@ -1,0 +1,144 @@
+"""Tests for the hash join."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.sqlstore import (
+    Column,
+    ColumnType,
+    Eq,
+    JoinSpec,
+    Query,
+    SqlEngine,
+    TableSchema,
+    hash_join,
+)
+
+
+@pytest.fixture()
+def engine():
+    eng = SqlEngine()
+    eng.create_table(
+        TableSchema(
+            name="pois",
+            columns=[
+                Column("poi_id", ColumnType.INTEGER),
+                Column("name", ColumnType.TEXT),
+                Column("category", ColumnType.TEXT, default="misc"),
+            ],
+            primary_key="poi_id",
+        )
+    )
+    eng.create_table(
+        TableSchema(
+            name="visits",
+            columns=[
+                Column("visit_id", ColumnType.INTEGER),
+                Column("poi_id", ColumnType.INTEGER, nullable=True),
+                Column("grade", ColumnType.FLOAT),
+                Column("name", ColumnType.TEXT, default="visitor"),
+            ],
+            primary_key="visit_id",
+        )
+    )
+    for poi_id, name, cat in [(1, "Cafe", "cafe"), (2, "Bar", "bar"),
+                              (3, "Museum", "museum")]:
+        eng.insert("pois", {"poi_id": poi_id, "name": name, "category": cat})
+    for visit_id, poi_id, grade in [(10, 1, 0.9), (11, 1, 0.7), (12, 2, 0.4),
+                                    (13, 99, 0.5), (14, None, 0.1)]:
+        eng.insert("visits", {"visit_id": visit_id, "poi_id": poi_id,
+                              "grade": grade})
+    return eng
+
+
+class TestHashJoin:
+    def test_inner_join_matches(self, engine):
+        rows = hash_join(
+            engine,
+            JoinSpec(
+                left=Query(table="visits"),
+                right=Query(table="pois"),
+                left_key="poi_id",
+                right_key="poi_id",
+            ),
+        )
+        # Visits 10, 11 (poi 1) and 12 (poi 2); 13 dangles, 14 is NULL.
+        assert len(rows) == 3
+        by_visit = {r["visit_id"]: r for r in rows}
+        assert by_visit[10]["pois.name"] == "Cafe"
+        assert by_visit[12]["pois.name"] == "Bar"
+
+    def test_column_collision_prefixed(self, engine):
+        rows = hash_join(
+            engine,
+            JoinSpec(
+                left=Query(table="visits"),
+                right=Query(table="pois"),
+                left_key="poi_id",
+                right_key="poi_id",
+            ),
+        )
+        # Both tables have "name": the visit's survives unprefixed.
+        assert rows[0]["name"] == "visitor"
+        assert "pois.name" in rows[0]
+
+    def test_left_join_keeps_dangling_rows(self, engine):
+        rows = hash_join(
+            engine,
+            JoinSpec(
+                left=Query(table="visits"),
+                right=Query(table="pois"),
+                left_key="poi_id",
+                right_key="poi_id",
+                kind="left",
+            ),
+        )
+        assert len(rows) == 5
+        dangling = next(r for r in rows if r["visit_id"] == 13)
+        assert dangling["pois.name"] is None
+
+    def test_null_keys_never_match(self, engine):
+        rows = hash_join(
+            engine,
+            JoinSpec(
+                left=Query(table="visits"),
+                right=Query(table="pois"),
+                left_key="poi_id",
+                right_key="poi_id",
+            ),
+        )
+        assert all(r["visit_id"] != 14 for r in rows)
+
+    def test_join_respects_where_clauses(self, engine):
+        rows = hash_join(
+            engine,
+            JoinSpec(
+                left=Query(table="visits"),
+                right=Query(table="pois", where=Eq("category", "cafe")),
+                left_key="poi_id",
+                right_key="poi_id",
+            ),
+        )
+        assert {r["visit_id"] for r in rows} == {10, 11}
+
+    def test_one_to_many_fanout(self, engine):
+        rows = hash_join(
+            engine,
+            JoinSpec(
+                left=Query(table="pois", where=Eq("poi_id", 1)),
+                right=Query(table="visits"),
+                left_key="poi_id",
+                right_key="poi_id",
+            ),
+        )
+        assert len(rows) == 2  # the cafe has two visits
+
+    def test_invalid_kind(self, engine):
+        with pytest.raises(QueryError):
+            JoinSpec(
+                left=Query(table="visits"),
+                right=Query(table="pois"),
+                left_key="poi_id",
+                right_key="poi_id",
+                kind="full_outer",
+            )

@@ -1,0 +1,111 @@
+"""Tests for the ORDER BY index pushdown (top-k without a full sort)."""
+
+import pytest
+
+from repro.sqlstore import (
+    Column,
+    ColumnType,
+    Eq,
+    OrderedIndex,
+    Query,
+    SqlEngine,
+    TableSchema,
+)
+
+
+@pytest.fixture()
+def engine():
+    eng = SqlEngine()
+    eng.create_table(
+        TableSchema(
+            name="pois",
+            columns=[
+                Column("poi_id", ColumnType.INTEGER),
+                Column("hotness", ColumnType.FLOAT, default=0.0),
+                Column("name", ColumnType.TEXT, default="x"),
+            ],
+            primary_key="poi_id",
+        )
+    )
+    eng.create_index("pois", OrderedIndex("hotness"))
+    for i in range(1, 101):
+        eng.insert("pois", {"poi_id": i, "hotness": float(i % 37)})
+    return eng
+
+
+class TestOrderByPushdown:
+    def test_pushdown_used_and_correct(self, engine):
+        before = engine.stats["index_order_scans"]
+        rows = engine.select(
+            Query(table="pois", order_by=("hotness", True), limit=5)
+        )
+        assert engine.stats["index_order_scans"] == before + 1
+        # Matches the full-sort answer.
+        expected = sorted(
+            (r for _rid, r in engine.table("pois").scan()),
+            key=lambda r: r["hotness"],
+            reverse=True,
+        )[:5]
+        assert [r["hotness"] for r in rows] == [r["hotness"] for r in expected]
+
+    def test_ascending_pushdown(self, engine):
+        rows = engine.select(
+            Query(table="pois", order_by=("hotness", False), limit=3)
+        )
+        assert [r["hotness"] for r in rows] == [0.0, 0.0, 1.0]
+
+    def test_not_used_with_where_clause(self, engine):
+        before = engine.stats["index_order_scans"]
+        engine.select(
+            Query(table="pois", where=Eq("poi_id", 5),
+                  order_by=("hotness", True), limit=5)
+        )
+        assert engine.stats["index_order_scans"] == before
+
+    def test_not_used_without_limit(self, engine):
+        before = engine.stats["index_order_scans"]
+        engine.select(Query(table="pois", order_by=("hotness", True)))
+        assert engine.stats["index_order_scans"] == before
+
+    def test_not_used_on_unindexed_column(self, engine):
+        before = engine.stats["index_order_scans"]
+        engine.select(Query(table="pois", order_by=("name", True), limit=5))
+        assert engine.stats["index_order_scans"] == before
+
+    def test_projection_applied(self, engine):
+        rows = engine.select(
+            Query(table="pois", order_by=("hotness", True), limit=2,
+                  columns=["poi_id"])
+        )
+        assert all(set(r) == {"poi_id"} for r in rows)
+
+    def test_stays_correct_after_updates(self, engine):
+        table = engine.table("pois")
+        rid = next(iter(table.rids_by_pk(50)))
+        engine.update("pois", rid, {"hotness": 999.0})
+        rows = engine.select(
+            Query(table="pois", order_by=("hotness", True), limit=1)
+        )
+        assert rows[0]["poi_id"] == 50
+
+    def test_incomplete_index_not_used(self):
+        # A nullable indexed column leaves NULL rows out of the index;
+        # the pushdown must refuse and fall back to the general plan.
+        eng = SqlEngine()
+        eng.create_table(
+            TableSchema(
+                name="t",
+                columns=[
+                    Column("id", ColumnType.INTEGER),
+                    Column("v", ColumnType.FLOAT, nullable=True),
+                ],
+                primary_key="id",
+            )
+        )
+        eng.create_index("t", OrderedIndex("v"))
+        eng.insert("t", {"id": 1, "v": 5.0})
+        eng.insert("t", {"id": 2, "v": None})
+        before = eng.stats["index_order_scans"]
+        rows = eng.select(Query(table="t", order_by=("v", True), limit=2))
+        assert eng.stats["index_order_scans"] == before
+        assert len(rows) == 2

@@ -1,0 +1,170 @@
+"""Tests for relational schemas and heap tables."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.sqlstore import (
+    Column,
+    ColumnType,
+    HashIndex,
+    OrderedIndex,
+    SpatialIndex,
+    HeapTable,
+    TableSchema,
+)
+
+
+def poi_schema():
+    return TableSchema(
+        name="pois",
+        columns=[
+            Column("poi_id", ColumnType.INTEGER),
+            Column("name", ColumnType.TEXT),
+            Column("lat", ColumnType.FLOAT),
+            Column("lon", ColumnType.FLOAT),
+            Column("keywords", ColumnType.TEXT_ARRAY, default=[]),
+            Column("hotness", ColumnType.FLOAT, default=0.0),
+            Column("notes", ColumnType.TEXT, nullable=True),
+        ],
+        primary_key="poi_id",
+    )
+
+
+def row(poi_id=1, **kwargs):
+    base = {"poi_id": poi_id, "name": "x", "lat": 37.0, "lon": 23.0}
+    base.update(kwargs)
+    return base
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                name="t",
+                columns=[
+                    Column("a", ColumnType.INTEGER),
+                    Column("a", ColumnType.TEXT),
+                ],
+                primary_key="a",
+            )
+
+    def test_pk_must_be_a_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                name="t",
+                columns=[Column("a", ColumnType.INTEGER)],
+                primary_key="b",
+            )
+
+    def test_type_validation(self):
+        schema = poi_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row(row(name=42))
+        with pytest.raises(SchemaError):
+            schema.validate_row(row(lat="north"))
+        with pytest.raises(SchemaError):
+            schema.validate_row(row(keywords=["ok", 3]))
+
+    def test_boolean_not_accepted_as_integer(self):
+        schema = poi_schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row(row(poi_id=True))
+
+    def test_int_coerced_to_float(self):
+        validated = poi_schema().validate_row(row(lat=37))
+        assert validated["lat"] == 37.0
+        assert isinstance(validated["lat"], float)
+
+    def test_defaults_and_nullable(self):
+        validated = poi_schema().validate_row(row())
+        assert validated["hotness"] == 0.0
+        assert validated["keywords"] == []
+        assert validated["notes"] is None
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(SchemaError):
+            poi_schema().validate_row({"poi_id": 1})
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            poi_schema().validate_row(row(bogus=1))
+
+
+class TestHeapTable:
+    def test_insert_and_get_by_pk(self):
+        table = HeapTable(poi_schema())
+        table.insert(row(poi_id=7, name="seven"))
+        got = table.get_by_pk(7)
+        assert got["name"] == "seven"
+        assert table.get_by_pk(8) is None
+
+    def test_pk_uniqueness(self):
+        table = HeapTable(poi_schema())
+        table.insert(row(poi_id=1))
+        with pytest.raises(SchemaError):
+            table.insert(row(poi_id=1))
+
+    def test_update_maintains_indexes(self):
+        table = HeapTable(poi_schema())
+        table.create_index(OrderedIndex("hotness"))
+        rid = table.insert(row(poi_id=1, hotness=1.0))
+        table.update(rid, {"hotness": 9.0})
+        index = table.index_for_column("hotness")
+        assert index.lookup(9.0) == {rid}
+        assert index.lookup(1.0) == set()
+
+    def test_update_pk_collision_rejected(self):
+        table = HeapTable(poi_schema())
+        table.insert(row(poi_id=1))
+        rid2 = table.insert(row(poi_id=2))
+        with pytest.raises(SchemaError):
+            table.update(rid2, {"poi_id": 1})
+
+    def test_delete_cleans_indexes(self):
+        table = HeapTable(poi_schema())
+        table.create_index(HashIndex("name"))
+        rid = table.insert(row(poi_id=1, name="gone"))
+        table.delete(rid)
+        assert table.index_for_column("name").lookup("gone") == set()
+        assert len(table) == 0
+        with pytest.raises(StorageError):
+            table.delete(rid)
+
+    def test_upsert(self):
+        table = HeapTable(poi_schema())
+        table.upsert(row(poi_id=1, name="first"))
+        table.upsert(row(poi_id=1, name="second"))
+        assert len(table) == 1
+        assert table.get_by_pk(1)["name"] == "second"
+
+    def test_index_backfill_on_create(self):
+        table = HeapTable(poi_schema())
+        for i in range(10):
+            table.insert(row(poi_id=i, hotness=float(i)))
+        table.create_index(OrderedIndex("hotness"))
+        assert len(table.index_for_column("hotness")) == 10
+
+    def test_duplicate_index_rejected(self):
+        table = HeapTable(poi_schema())
+        table.create_index(HashIndex("name"))
+        with pytest.raises(StorageError):
+            table.create_index(HashIndex("name"))
+
+    def test_spatial_index_maintenance(self):
+        table = HeapTable(poi_schema())
+        table.create_index(SpatialIndex("lat", "lon"))
+        rid = table.insert(row(poi_id=1, lat=37.5, lon=23.5))
+        spatial = table.spatial_index()
+        from repro.geo import BoundingBox
+
+        assert spatial.search_bbox(BoundingBox(37, 23, 38, 24)) == {rid}
+        table.update(rid, {"lat": 40.0, "lon": 22.0})
+        assert spatial.search_bbox(BoundingBox(37, 23, 38, 24)) == set()
+        assert spatial.search_bbox(BoundingBox(39, 21, 41, 23)) == {rid}
+
+    def test_scan_returns_copies(self):
+        table = HeapTable(poi_schema())
+        table.insert(row(poi_id=1))
+        for _rid, r in table.scan():
+            r["name"] = "mutated"
+        assert table.get_by_pk(1)["name"] == "x"

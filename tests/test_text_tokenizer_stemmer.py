@@ -1,0 +1,157 @@
+"""Tests for tokenization, stopwords, Porter stemming and n-grams."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.text import Tokenizer, ngrams, porter_stem, unigrams_and_bigrams
+from repro.text.stopwords import STOPWORDS
+
+
+class TestPorterStemmer:
+    # Reference pairs from Porter's original paper / test vocabulary.
+    KNOWN = [
+        ("caresses", "caress"),
+        ("ponies", "poni"),
+        ("ties", "ti"),
+        ("caress", "caress"),
+        ("cats", "cat"),
+        ("feed", "feed"),
+        ("agreed", "agre"),
+        ("plastered", "plaster"),
+        ("bled", "bled"),
+        ("motoring", "motor"),
+        ("sing", "sing"),
+        ("conflated", "conflat"),
+        ("troubled", "troubl"),
+        ("sized", "size"),
+        ("hopping", "hop"),
+        ("tanned", "tan"),
+        ("falling", "fall"),
+        ("hissing", "hiss"),
+        ("fizzed", "fizz"),
+        ("failing", "fail"),
+        ("filing", "file"),
+        ("happy", "happi"),
+        ("sky", "sky"),
+        ("relational", "relat"),
+        ("conditional", "condit"),
+        ("rational", "ration"),
+        ("valenci", "valenc"),
+        ("hesitanci", "hesit"),
+        ("digitizer", "digit"),
+        ("conformabli", "conform"),
+        ("radicalli", "radic"),
+        ("differentli", "differ"),
+        ("vileli", "vile"),
+        ("analogousli", "analog"),
+        ("vietnamization", "vietnam"),
+        ("predication", "predic"),
+        ("operator", "oper"),
+        ("feudalism", "feudal"),
+        ("decisiveness", "decis"),
+        ("hopefulness", "hope"),
+        ("callousness", "callous"),
+        ("formaliti", "formal"),
+        ("sensitiviti", "sensit"),
+        ("sensibiliti", "sensibl"),
+        ("triplicate", "triplic"),
+        ("formative", "form"),
+        ("formalize", "formal"),
+        ("electriciti", "electr"),
+        ("electrical", "electr"),
+        ("hopeful", "hope"),
+        ("goodness", "good"),
+        ("revival", "reviv"),
+        ("allowance", "allow"),
+        ("inference", "infer"),
+        ("airliner", "airlin"),
+        ("gyroscopic", "gyroscop"),
+        ("adjustable", "adjust"),
+        ("defensible", "defens"),
+        ("irritant", "irrit"),
+        ("replacement", "replac"),
+        ("adjustment", "adjust"),
+        ("dependent", "depend"),
+        ("adoption", "adopt"),
+        ("homologou", "homolog"),
+        ("communism", "commun"),
+        ("activate", "activ"),
+        ("angulariti", "angular"),
+        ("homologous", "homolog"),
+        ("effective", "effect"),
+        ("bowdlerize", "bowdler"),
+        ("probate", "probat"),
+        ("rate", "rate"),
+        ("cease", "ceas"),
+        ("controll", "control"),
+        ("roll", "roll"),
+    ]
+
+    @pytest.mark.parametrize("word,stem", KNOWN)
+    def test_known_pairs(self, word, stem):
+        assert porter_stem(word) == stem
+
+    def test_short_words_pass_through(self):
+        assert porter_stem("is") == "is"
+        assert porter_stem("a") == "a"
+
+    def test_idempotent_on_common_review_words(self):
+        for word in ("delicious", "wonderful", "terrible", "services"):
+            once = porter_stem(word)
+            assert porter_stem(once) == once
+
+
+class TestTokenizer:
+    def test_lowercase_and_stopwords(self):
+        t = Tokenizer(stem=False)
+        tokens = t.tokenize("The Food WAS very Good")
+        assert "the" not in tokens
+        assert "was" not in tokens
+        assert "food" in tokens
+        assert "good" in tokens
+
+    def test_stemming_applied(self):
+        t = Tokenizer()
+        assert "restaur" in t.tokenize("restaurants")
+
+    def test_punctuation_and_numbers_dropped(self):
+        t = Tokenizer(stem=False)
+        tokens = t.tokenize("great!!! 100% value, 5 stars...")
+        assert tokens == ["great", "value", "star"] or "great" in tokens
+
+    def test_disabled_options(self):
+        t = Tokenizer(lowercase=False, remove_stopwords=False, stem=False)
+        tokens = t.tokenize("The CAT")
+        assert tokens == ["The", "CAT"]
+
+    def test_min_token_length(self):
+        t = Tokenizer(stem=False, min_token_length=4)
+        assert t.tokenize("cat door") == ["door"]
+
+    def test_empty_input(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_stopword_list_sane(self):
+        assert "the" in STOPWORDS
+        assert "not" in STOPWORDS
+        assert "food" not in STOPWORDS
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == ["a_b", "b_c"]
+
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == ["a", "b"]
+
+    def test_n_larger_than_input(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValidationError):
+            ngrams(["a"], 0)
+
+    def test_unigrams_and_bigrams(self):
+        assert unigrams_and_bigrams(["x", "y", "z"]) == [
+            "x", "y", "z", "x_y", "y_z",
+        ]

@@ -1,0 +1,97 @@
+"""Tests for cross-validation and grid search."""
+
+import pytest
+
+from repro.config import SentimentConfig
+from repro.datagen import ReviewGenerator
+from repro.errors import ValidationError
+from repro.text import cross_validate, grid_search, k_fold_splits
+
+
+@pytest.fixture(scope="module")
+def tuning_corpus():
+    return ReviewGenerator(seed=33, capacity=4000,
+                           noise_onset=0.5, max_noise=0.2).labeled_texts(900)
+
+
+class TestKFold:
+    def test_partitions_cover_everything(self):
+        items = list(range(100))
+        splits = k_fold_splits(items, k=5, seed=1)
+        assert len(splits) == 5
+        for train, validation in splits:
+            assert len(train) + len(validation) == 100
+            assert set(train) | set(validation) == set(items)
+            assert not set(train) & set(validation)
+
+    def test_validation_folds_are_disjoint(self):
+        splits = k_fold_splits(list(range(90)), k=3, seed=2)
+        seen = set()
+        for _train, validation in splits:
+            fold = set(validation)
+            assert not fold & seen
+            seen |= fold
+        assert seen == set(range(90))
+
+    def test_deterministic_per_seed(self):
+        a = k_fold_splits(list(range(50)), k=5, seed=7)
+        b = k_fold_splits(list(range(50)), k=5, seed=7)
+        assert a == b
+        c = k_fold_splits(list(range(50)), k=5, seed=8)
+        assert a != c
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            k_fold_splits([1, 2, 3], k=1)
+        with pytest.raises(ValidationError):
+            k_fold_splits([1, 2], k=3)
+
+
+class TestCrossValidate:
+    def test_reasonable_accuracy(self, tuning_corpus):
+        accuracy = cross_validate(
+            SentimentConfig.optimized(), tuning_corpus, k=3
+        )
+        assert 0.8 < accuracy <= 1.0
+
+    def test_optimized_beats_baseline(self, tuning_corpus):
+        base = cross_validate(SentimentConfig.baseline(), tuning_corpus, k=3)
+        opt = cross_validate(SentimentConfig.optimized(), tuning_corpus, k=3)
+        assert opt > base
+
+
+class TestGridSearch:
+    def test_small_grid_finds_bigrams(self, tuning_corpus):
+        result = grid_search(
+            tuning_corpus,
+            grid={"use_bigrams": [False, True]},
+            k=3,
+        )
+        assert len(result.trials) == 2
+        # On this corpus bigrams are the dominant optimization.
+        assert result.best_config.use_bigrams is True
+        assert result.best_accuracy == result.trials[0][1]
+
+    def test_trials_sorted_best_first(self, tuning_corpus):
+        result = grid_search(
+            tuning_corpus,
+            grid={"use_tf": [False, True], "use_bigrams": [False, True]},
+            k=3,
+        )
+        accuracies = [acc for _o, acc in result.trials]
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert len(result.trials) == 4
+
+    def test_unknown_field_rejected(self, tuning_corpus):
+        with pytest.raises(ValidationError):
+            grid_search(tuning_corpus, grid={"use_quantum": [True]})
+
+    def test_best_config_carries_base_fields(self, tuning_corpus):
+        base = SentimentConfig(stem=False)
+        result = grid_search(
+            tuning_corpus[:300],
+            grid={"use_tf": [False, True]},
+            base=base,
+            k=2,
+        )
+        assert result.best_config.stem is False
