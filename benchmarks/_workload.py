@@ -19,6 +19,7 @@ instances, which is exactly how the timing layer is factored.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Dict, List, Sequence
 
@@ -28,9 +29,13 @@ from repro.core import MoDisSENSE, SearchQuery
 from repro.datagen import generate_pois, generate_visits
 
 # ---- scale knobs -----------------------------------------------------------
+# REPRO_BENCH_USERS / REPRO_BENCH_POIS / REPRO_BENCH_REPETITIONS shrink the
+# workload for CI smoke runs; defaults reproduce the documented bench scale.
 
-NUM_POIS = 8500
-NUM_USERS = 10_500  # enough for the paper's 9500-friend sweep
+NUM_POIS = int(os.environ.get("REPRO_BENCH_POIS", 8500))
+NUM_USERS = int(
+    os.environ.get("REPRO_BENCH_USERS", 10_500)
+)  # default: enough for the paper's 9500-friend sweep
 VISIT_SCALE = 10  # visits generated at 1/10 volume...
 VISIT_MEAN = 17.0
 VISIT_STD = 10.1
@@ -87,21 +92,18 @@ def friend_sample(count: int, seed: int = 7) -> tuple:
 def region_records_for_friends(platform: MoDisSENSE, friend_ids: tuple):
     """Per-region (records scanned, results returned) for one
     personalized query, measured by executing the real coprocessor
-    endpoint.  Returns ``{region_id: (records, results)}``."""
-    from repro.core.modules.query_answering import _VisitScanRequest
+    endpoint through the routed (friend->region) fan-out.
+    Returns ``{region_id: (records, results)}``."""
+    from repro.core import SearchQuery
 
-    request = _VisitScanRequest(
-        friend_ids=friend_ids,
-        bbox=None,
-        keywords=(),
-        since=None,
-        until=None,
-    )
-    call = platform.visits_repository.cluster.coprocessor_exec(
+    qa = platform.query_answering
+    routed = qa._route_query(SearchQuery(friend_ids=friend_ids))
+    call = platform.visits_repository.cluster.coprocessor_exec_routed(
         platform.visits_repository.table.name,
-        platform.query_answering._coprocessor,
-        request,
-    )
+        qa._coprocessor,
+        [routed],
+        route_items=[len(friend_ids)],
+    )[0]
     return {
         region: (records, call.per_region_results.get(region, 0))
         for region, records in call.per_region_records.items()
@@ -112,10 +114,13 @@ def simulate_query_ms(
     per_region_work: Dict[int, tuple],
     num_nodes: int,
     concurrency: int = 1,
+    route_items: int = 0,
 ) -> List[float]:
     """Replay captured region work (``{region: (records, results)}``)
     on an ``num_nodes`` cluster; returns per-query simulated latencies
-    in ms."""
+    in ms.  ``route_items`` charges the client-side friend->region
+    routing term, keeping replayed latencies honest about the routed
+    fan-out's bookkeeping."""
     sim = ClusterSimulation(
         ClusterConfig(
             num_nodes=num_nodes,
@@ -130,5 +135,9 @@ def simulate_query_ms(
              results_returned=work[1])
         for region, work in sorted(per_region_work.items())
     ]
-    timelines = sim.run_queries([list(tasks) for _ in range(concurrency)])
+    setup = sim.cost_model.routing_cost_s(route_items)
+    timelines = sim.run_queries(
+        [list(tasks) for _ in range(concurrency)],
+        client_setup_s=[setup] * concurrency,
+    )
     return [t.latency_ms for t in timelines]

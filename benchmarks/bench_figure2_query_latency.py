@@ -9,6 +9,7 @@ faster; >5000 friends stays under ~1 s on 16 nodes.
 
 from __future__ import annotations
 
+import os
 import statistics
 
 import pytest
@@ -21,9 +22,14 @@ from ._workload import (
     simulate_query_ms,
 )
 
-#: The paper's x-axis.
-FRIEND_COUNTS = (500, 2000, 3500, 5000, 6500, 8000, 9500)
-REPETITIONS = 10
+from ._workload import NUM_USERS
+
+#: The paper's x-axis (truncated when REPRO_BENCH_USERS shrinks the
+#: dataset for smoke runs).
+FRIEND_COUNTS = tuple(
+    f for f in (500, 2000, 3500, 5000, 6500, 8000, 9500) if f < NUM_USERS
+) or (NUM_USERS // 4, NUM_USERS // 2)
+REPETITIONS = int(os.environ.get("REPRO_BENCH_REPETITIONS", 10))
 
 
 def _figure2_series(platform):
@@ -38,7 +44,9 @@ def _figure2_series(platform):
             records = region_records_for_friends(platform, ids)
             for nodes in PAPER_CLUSTERS:
                 per_nodes[nodes].append(
-                    simulate_query_ms(records, num_nodes=nodes)[0]
+                    simulate_query_ms(
+                        records, num_nodes=nodes, route_items=friends
+                    )[0]
                 )
         series[friends] = {
             n: statistics.mean(samples) for n, samples in per_nodes.items()
@@ -77,6 +85,8 @@ def test_figure2_query_latency_vs_friends(bench_platform, benchmark):
     for friends in FRIEND_COUNTS:
         assert series[friends][4] > series[friends][8] > series[friends][16]
     # (d) the paper's headline: >5000 friends in under a second on the
-    #     16-node cluster.
-    assert series[5000][16] < 1000.0
-    assert series[6500][16] < 1500.0
+    #     16-node cluster (skipped at smoke scale).
+    if 5000 in series:
+        assert series[5000][16] < 1000.0
+    if 6500 in series:
+        assert series[6500][16] < 1500.0

@@ -72,7 +72,10 @@ def _figure3_series(platform):
                         for r, work in sorted(profile.items())
                     ]
                 )
-            timelines = sim.run_queries(batches)
+            routing = sim.cost_model.routing_cost_s(FRIENDS_PER_QUERY)
+            timelines = sim.run_queries(
+                batches, client_setup_s=[routing] * len(batches)
+            )
             series[concurrency][nodes] = statistics.mean(
                 t.latency_s for t in timelines
             )

@@ -35,6 +35,7 @@ class CostModel:
     cost_per_record_s: float = 9.0e-6
     coprocessor_setup_s: float = 0.00035
     merge_cost_per_item_s: float = 1.5e-6
+    route_cost_per_key_s: float = 3.0e-7
 
     @classmethod
     def from_config(cls, config: ClusterConfig) -> "CostModel":
@@ -43,6 +44,7 @@ class CostModel:
             cost_per_record_s=config.cost_per_record_us / 1e6,
             coprocessor_setup_s=config.coprocessor_setup_ms / 1e3,
             merge_cost_per_item_s=config.merge_cost_per_item_us / 1e6,
+            route_cost_per_key_s=config.route_cost_per_key_us / 1e6,
         )
 
     def coprocessor_cost_s(self, records_scanned: int) -> float:
@@ -52,6 +54,11 @@ class CostModel:
     def merge_cost_s(self, partial_results: int) -> float:
         """Web-server-side merge cost for ``partial_results`` items."""
         return partial_results * self.merge_cost_per_item_s
+
+    def routing_cost_s(self, routed_keys: int) -> float:
+        """Client-side cost of partitioning ``routed_keys`` keys across
+        regions before the fan-out (the route-then-stream query path)."""
+        return routed_keys * self.route_cost_per_key_s
 
 
 @dataclass
@@ -197,17 +204,26 @@ class ClusterSimulation:
         self,
         per_query_tasks: Sequence[Sequence[Task]],
         submit_at: Optional[Sequence[float]] = None,
+        client_setup_s: Optional[Sequence[float]] = None,
     ) -> List[QueryTimeline]:
         """Simulate many (possibly concurrent) queries sharing the cluster.
 
         Tasks are interleaved across queries in region order, which models
         HBase serving concurrent coprocessor invocations fairly rather
         than running whole queries back-to-back.
+
+        ``client_setup_s`` charges per-query client-side work done
+        *before* the fan-out (e.g. friend-to-region routing): it delays
+        every task of that query and is part of its end-to-end latency.
         """
         if submit_at is None:
             submit_at = [0.0] * len(per_query_tasks)
         if len(submit_at) != len(per_query_tasks):
             raise ConfigError("submit_at must align with per_query_tasks")
+        if client_setup_s is None:
+            client_setup_s = [0.0] * len(per_query_tasks)
+        if len(client_setup_s) != len(per_query_tasks):
+            raise ConfigError("client_setup_s must align with per_query_tasks")
 
         self.reset_clock()
         cm = self.cost_model
@@ -227,7 +243,7 @@ class ClusterSimulation:
 
         for qi, task in order:
             node = self.node_for_region(task.region_id)
-            ready = submit_at[qi] + cm.rpc_latency_s
+            ready = submit_at[qi] + client_setup_s[qi] + cm.rpc_latency_s
             duration = cm.coprocessor_cost_s(task.records_scanned)
             done = node.schedule(ready, duration) + cm.rpc_latency_s
             finish_by_query[qi] = max(finish_by_query.get(qi, 0.0), done)
@@ -239,7 +255,7 @@ class ClusterSimulation:
 
         timelines = []
         for qi, tasks in enumerate(per_query_tasks):
-            finish = finish_by_query.get(qi, submit_at[qi])
+            finish = finish_by_query.get(qi, submit_at[qi] + client_setup_s[qi])
             finish += cm.merge_cost_s(results_by_query.get(qi, 0))
             timelines.append(
                 QueryTimeline(

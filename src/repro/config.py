@@ -46,6 +46,11 @@ class ClusterConfig:
     coprocessor_setup_ms: float = 0.35
     #: Simulated per-result merge cost at the web-server tier.
     merge_cost_per_item_us: float = 1.5
+    #: Simulated client-side cost of routing one key (friend) to its
+    #: owning region before fan-out.  A bisect over region start keys is
+    #: sub-microsecond; the term keeps routed-query latencies honest
+    #: about the work the client tier now performs.
+    route_cost_per_key_us: float = 0.3
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:

@@ -22,6 +22,7 @@ from ..repositories.visits import (
     SCHEMA_NORMALIZED,
     VisitsRepository,
 )
+from ..serialization import decode_json
 
 SORT_INTEREST = "interest"
 SORT_HOTNESS = "hotness"
@@ -79,6 +80,12 @@ class SearchResult:
     latency_ms: float = 0.0
     records_scanned: int = 0
     regions_used: int = 0
+    #: Regions never invoked because client-side routing proved they
+    #: own none of the query's friends.
+    regions_pruned: int = 0
+    #: Visit payloads fully JSON-decoded region-side; lazy decoding keeps
+    #: this far below ``records_scanned`` (one parse per POI per region).
+    cells_decoded: int = 0
 
 
 @dataclass(frozen=True)
@@ -98,6 +105,9 @@ class _VisitScanRequest:
     since: Optional[int]
     until: Optional[int]
     per_region_limit: int = 0
+    #: True when the client already routed ``friend_ids`` to this
+    #: region, so the endpoint can skip per-friend ownership probing.
+    routed: bool = False
 
 
 class VisitScanCoprocessor(Coprocessor):
@@ -107,6 +117,16 @@ class VisitScanCoprocessor(Coprocessor):
     region, eliminates the visits that do not satisfy the user defined
     criteria, aggregates multiple visits referring to the same POI and
     sorts the candidate POIs according to the aggregated scores."
+
+    The endpoint aggregates straight from row keys and raw payload
+    dicts — no :class:`VisitStruct` is built per cell.  Payload decoding
+    is lazy: the POI id comes from fixed row-key offsets, and because the
+    replicated POI attributes (name/lat/lon/keywords) are per-POI
+    constants, a POI's full payload is parsed once per region — repeat
+    visits extract just the grade positionally, and visits to a
+    filter-rejected POI skip decoding entirely.  ``cells_decoded`` in
+    the context counters (full payload parses) makes the saving
+    observable.
     """
 
     name = "visit-scan"
@@ -118,38 +138,65 @@ class VisitScanCoprocessor(Coprocessor):
             else None
         )
         wanted = set(request.keywords)
+        filtered = bbox is not None or bool(wanted)
         # poi_id -> [grade_sum, count, name, lat, lon]
         aggregates: Dict[int, list] = {}
+        #: poi_id -> False for POIs the filters rejected (accepted POIs
+        #: live in ``aggregates`` instead).
+        rejected: Dict[int, bool] = {}
+        cells_decoded = 0
+        cells_scanned = 0
+        time_range_keys = VisitsRepository.time_range_keys
+        user_prefix = VisitsRepository.user_prefix
+        decode_grade = VisitsRepository.decode_grade
+        scan = context.scan_uncounted
 
         for friend_id in request.friend_ids:
-            prefix = VisitsRepository.user_prefix(friend_id)
-            if not context.contains_row(prefix + b"\x00"):
-                # Another region owns this friend's salted key range.
-                continue
-            start, stop = VisitsRepository.time_range_keys(
+            if not request.routed:
+                prefix = user_prefix(friend_id)
+                if not context.contains_row(prefix + b"\x00"):
+                    # Another region owns this friend's salted key range.
+                    continue
+            start, stop = time_range_keys(
                 friend_id, request.since, request.until
             )
-            for cell in context.scan(FAMILY, start, stop):
-                visit = VisitsRepository.decode_cell(cell)
-                if bbox is not None and not bbox.contains_coords(
-                    visit.lat, visit.lon
-                ):
-                    continue
-                if wanted and not (wanted & {k.lower() for k in visit.keywords}):
-                    continue
-                entry = aggregates.get(visit.poi_id)
-                if entry is None:
-                    aggregates[visit.poi_id] = [
-                        visit.grade,
-                        1,
-                        visit.poi_name,
-                        visit.lat,
-                        visit.lon,
-                    ]
-                else:
-                    entry[0] += visit.grade
+            for cell in scan(FAMILY, start, stop):
+                cells_scanned += 1
+                # Cheap key-only decode: poi id at fixed row offsets.
+                poi_id = int.from_bytes(cell.row[21:29], "big")
+                entry = aggregates.get(poi_id)
+                if entry is not None:
+                    # Known-accepted POI: only the grade is needed, and a
+                    # positional slice beats a full JSON parse.
+                    entry[0] += decode_grade(cell.value)
                     entry[1] += 1
+                    continue
+                if filtered and poi_id in rejected:
+                    continue  # known-rejected POI: no decode at all
+                payload = decode_json(cell.value)
+                cells_decoded += 1
+                lat = payload.get("lat", 0.0)
+                lon = payload.get("lon", 0.0)
+                if filtered:
+                    if bbox is not None and not bbox.contains_coords(lat, lon):
+                        rejected[poi_id] = False
+                        continue
+                    if wanted and not (
+                        wanted
+                        & {str(k).lower() for k in payload.get("keywords", ())}
+                    ):
+                        rejected[poi_id] = False
+                        continue
+                aggregates[poi_id] = [
+                    payload["grade"],
+                    1,
+                    payload.get("name", ""),
+                    lat,
+                    lon,
+                ]
 
+        context.add_scanned(cells_scanned)
+        context.count("cells_decoded", cells_decoded)
         partial = [
             (poi_id, entry[0], entry[1], entry[2], entry[3], entry[4])
             for poi_id, entry in aggregates.items()
@@ -191,49 +238,68 @@ class QueryAnsweringModule:
 
         All queries' coprocessor tasks share the simulated cluster, so
         their latencies include contention — Figure 3's setup.
+
+        Route-then-stream: each query's friend list is partitioned per
+        region client-side, every region receives only its own friends,
+        and regions owning no friends are never invoked.
         """
-        requests = []
+        routed_requests = []
+        route_items = []
         for query in queries:
             if not query.personalized:
                 raise QueryError("batch path requires personalized queries")
-            requests.append(
-                _VisitScanRequest(
-                    friend_ids=query.friend_ids,
-                    bbox=query.bbox.as_tuple() if query.bbox else None,
-                    keywords=query.keywords,
-                    since=query.since,
-                    until=query.until,
-                )
-            )
-        calls = self.visits.cluster.coprocessor_exec_many(
-            self.visits.table.name, self._coprocessor, requests
+            routed_requests.append(self._route_query(query))
+            route_items.append(len(query.friend_ids))
+        calls = self.visits.cluster.coprocessor_exec_routed(
+            self.visits.table.name,
+            self._coprocessor,
+            routed_requests,
+            route_items=route_items,
         )
         results = []
         for query, call in zip(queries, calls):
             results.append(self._merge_partials(query, call))
         return results
 
+    def _route_query(self, query: SearchQuery) -> Dict:
+        """Per-region scan requests for one personalized query: every
+        region gets exactly the friends whose salted key ranges it owns."""
+        routed = self.visits.route_friends(
+            query.friend_ids, query.since, query.until
+        )
+        bbox = query.bbox.as_tuple() if query.bbox else None
+        return {
+            region: _VisitScanRequest(
+                friend_ids=tuple(friends),
+                bbox=bbox,
+                keywords=query.keywords,
+                since=query.since,
+                until=query.until,
+                routed=True,
+            )
+            for region, friends in routed.items()
+        }
+
     def explain_personalized(self, query: SearchQuery) -> Dict:
         """EXPLAIN for the coprocessor path: per-region work breakdown.
 
-        Executes the query and returns, per region, the records scanned,
-        partial results shipped and the node serving it, plus the
-        simulated end-to-end latency — the profile an operator needs to
-        spot hot regions or bad salt distribution.
+        Executes the query through the routed fan-out and returns, per
+        invoked region, the records scanned, partial results shipped and
+        the node serving it, plus the simulated end-to-end latency and
+        the routing/decoding counters (``regions_pruned``,
+        ``cells_merged``, ``cells_decoded``) — the profile an operator
+        needs to spot hot regions, bad salt distribution, or a filter
+        that decodes more payloads than it keeps.
         """
         if not query.personalized:
             raise QueryError("explain_personalized needs a personalized query")
-        request = _VisitScanRequest(
-            friend_ids=query.friend_ids,
-            bbox=query.bbox.as_tuple() if query.bbox else None,
-            keywords=query.keywords,
-            since=query.since,
-            until=query.until,
-        )
         cluster = self.visits.cluster
-        call = cluster.coprocessor_exec(
-            self.visits.table.name, self._coprocessor, request
-        )
+        call = cluster.coprocessor_exec_routed(
+            self.visits.table.name,
+            self._coprocessor,
+            [self._route_query(query)],
+            route_items=[len(query.friend_ids)],
+        )[0]
         placement = cluster.simulation.region_placement
         regions = [
             {
@@ -248,9 +314,12 @@ class QueryAnsweringModule:
         return {
             "friends": len(query.friend_ids),
             "regions": regions,
+            "regions_pruned": call.regions_pruned,
             "latency_ms": call.latency_ms,
             "records_total": sum(records),
             "records_max_region": max(records) if records else 0,
+            "cells_merged": sum(records),
+            "cells_decoded": call.counters.get("cells_decoded", 0),
             "skew": (
                 max(records) / (sum(records) / len(records))
                 if records and sum(records) else 0.0
@@ -292,6 +361,8 @@ class QueryAnsweringModule:
             latency_ms=call.latency_ms,
             records_scanned=call.records_scanned,
             regions_used=len(call.per_region_records),
+            regions_pruned=call.regions_pruned,
+            cells_decoded=call.counters.get("cells_decoded", 0),
         )
 
     def _search_sql(self, query: SearchQuery) -> SearchResult:

@@ -127,13 +127,7 @@ class InstrumentedQueryAnswering:
     def search(self, query):
         result = self._inner.search(query)
         if result.personalized:
-            self.metrics.increment("queries.personalized")
-            self.metrics.record_latency(
-                "query.personalized", result.latency_ms
-            )
-            self.metrics.increment(
-                "records.scanned", result.records_scanned
-            )
+            self._record_personalized(result)
         else:
             self.metrics.increment("queries.non_personalized")
         return result
@@ -141,12 +135,21 @@ class InstrumentedQueryAnswering:
     def search_personalized_batch(self, queries):
         results = self._inner.search_personalized_batch(queries)
         for result in results:
-            self.metrics.increment("queries.personalized")
-            self.metrics.record_latency(
-                "query.personalized", result.latency_ms
-            )
-            self.metrics.increment("records.scanned", result.records_scanned)
+            self._record_personalized(result)
         return results
+
+    def _record_personalized(self, result) -> None:
+        self.metrics.increment("queries.personalized")
+        self.metrics.record_latency("query.personalized", result.latency_ms)
+        self.metrics.increment("records.scanned", result.records_scanned)
+        # Query-path profiling counters (route-then-stream pipeline):
+        # cells merged = records the region scanners emitted; cells
+        # decoded = payloads actually JSON-parsed (lazy decoding);
+        # regions pruned = fan-out avoided by friend->region routing.
+        self.metrics.increment("cells.merged", result.records_scanned)
+        self.metrics.increment("cells.decoded", result.cells_decoded)
+        self.metrics.increment("regions.pruned", result.regions_pruned)
+        self.metrics.increment("regions.used", result.regions_used)
 
     def search_personalized_client_side(self, query):
         return self._inner.search_personalized_client_side(query)

@@ -9,12 +9,13 @@ cluster simulation's scheduler and cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..cluster import ClusterSimulation, ParallelExecutor, QueryTimeline, Task
 from ..config import ClusterConfig
 from ..errors import TableExistsError, TableNotFoundError
 from .coprocessor import Coprocessor, CoprocessorContext
+from .region import Region
 from .table import HTable, TableDescriptor
 
 
@@ -28,6 +29,12 @@ class CoprocessorCallResult:
     #: Size of each region's partial result (items shipped to the
     #: client for merging).
     per_region_results: Dict[int, int] = field(default_factory=dict)
+    #: Regions of the table the client never invoked because routing
+    #: proved they own none of the queried keys.
+    regions_pruned: int = 0
+    #: Endpoint-reported counters, summed across invoked regions
+    #: (e.g. ``cells_decoded`` from the lazy visit-decode path).
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def latency_ms(self) -> float:
@@ -101,7 +108,7 @@ class HBaseCluster:
         start_row: Optional[bytes] = None,
         stop_row: Optional[bytes] = None,
     ) -> CoprocessorCallResult:
-        """Invoke an endpooint on every region intersecting the row range.
+        """Invoke an endpoint on every region intersecting the row range.
 
         Returns the merged result plus the simulated timeline of the
         fan-out (used by the benchmarks).
@@ -123,34 +130,93 @@ class HBaseCluster:
 
         All requests share the cluster: their region tasks contend for
         the same simulated cores, which is exactly the paper's Figure 3
-        experiment.
+        experiment.  This is the *broadcast* fan-out: every region in
+        the row range receives every request.  Key-aware callers should
+        prefer :meth:`coprocessor_exec_routed`.
         """
         table = self.table(table_name)
         regions = table.regions_for_range(start_row, stop_row)
+        routed = [[(region, request) for region in regions] for request in requests]
+        return self._exec_region_requests(table, coprocessor, routed)
 
+    def coprocessor_exec_routed(
+        self,
+        table_name: str,
+        coprocessor: Coprocessor,
+        routed_requests: Sequence[Mapping[Region, Any]],
+        route_items: Optional[Sequence[int]] = None,
+    ) -> List[CoprocessorCallResult]:
+        """Route-then-stream fan-out: each request already partitioned
+        per region.
+
+        ``routed_requests[qi]`` maps each region to the region-local
+        request it should run; regions absent from the mapping are never
+        invoked (they are reported via ``regions_pruned``).  This is the
+        personalized-query fast path: the client partitions the friend
+        list by salted key prefix, so the O(friends x regions) per-region
+        membership probing of the broadcast path disappears.
+
+        ``route_items[qi]`` is the number of keys the client routed for
+        request ``qi`` (e.g. the friend count); the simulation charges
+        the routing term for them, keeping latencies honest about the
+        client-side work.
+        """
+        table = self.table(table_name)
+        routed = [
+            sorted(mapping.items(), key=lambda item: item[0].region_id)
+            for mapping in routed_requests
+        ]
+        client_setup = None
+        if route_items is not None:
+            cm = self.simulation.cost_model
+            client_setup = [cm.routing_cost_s(n) for n in route_items]
+        return self._exec_region_requests(
+            table, coprocessor, routed, client_setup_s=client_setup
+        )
+
+    def _exec_region_requests(
+        self,
+        table: HTable,
+        coprocessor: Coprocessor,
+        per_request_regions: Sequence[Sequence[tuple]],
+        client_setup_s: Optional[Sequence[float]] = None,
+    ) -> List[CoprocessorCallResult]:
+        """Shared fan-out engine: run ``(region, request)`` pairs per
+        query on the thread pool, account the simulated timeline, merge."""
+        total_regions = len(table.regions)
         per_request_partials: List[List[Any]] = []
         per_request_tasks: List[List[Task]] = []
         per_request_records: List[Dict[int, int]] = []
         per_request_results: List[Dict[int, int]] = []
+        per_request_counters: List[Dict[str, int]] = []
 
-        for qi, request in enumerate(requests):
-            def run_one(region, _request=request):
+        for qi, region_requests in enumerate(per_request_regions):
+            def run_one(pair):
+                region, request = pair
                 context = CoprocessorContext(region)
-                partial = coprocessor.run(context, _request)
-                return (region.region_id, context.records_scanned, partial)
+                partial = coprocessor.run(context, request)
+                return (
+                    region.region_id,
+                    context.records_scanned,
+                    partial,
+                    context.counters,
+                )
 
-            outcomes = self._executor.map_ordered(run_one, regions)
+            outcomes = self._executor.map_ordered(run_one, region_requests)
             partials = []
             tasks = []
             records: Dict[int, int] = {}
             result_sizes: Dict[int, int] = {}
-            for region_id, scanned, partial in outcomes:
+            counters: Dict[str, int] = {}
+            for region_id, scanned, partial, region_counters in outcomes:
                 partials.append(partial)
                 records[region_id] = scanned
                 try:
                     result_sizes[region_id] = len(partial)
                 except TypeError:
                     result_sizes[region_id] = 1  # scalar partial result
+                for name, value in region_counters.items():
+                    counters[name] = counters.get(name, 0) + value
                 tasks.append(
                     Task(
                         region_id=region_id,
@@ -163,10 +229,13 @@ class HBaseCluster:
             per_request_tasks.append(tasks)
             per_request_records.append(records)
             per_request_results.append(result_sizes)
+            per_request_counters.append(counters)
 
-        timelines = self.simulation.run_queries(per_request_tasks)
+        timelines = self.simulation.run_queries(
+            per_request_tasks, client_setup_s=client_setup_s
+        )
         results = []
-        for qi in range(len(requests)):
+        for qi in range(len(per_request_regions)):
             merged = coprocessor.merge(per_request_partials[qi])
             results.append(
                 CoprocessorCallResult(
@@ -174,6 +243,8 @@ class HBaseCluster:
                     timeline=timelines[qi],
                     per_region_records=per_request_records[qi],
                     per_region_results=per_request_results[qi],
+                    regions_pruned=total_regions - len(per_request_regions[qi]),
+                    counters=per_request_counters[qi],
                 )
             )
         return results
@@ -199,7 +270,17 @@ class HBaseCluster:
         self.simulation.recover_node(node_id)
 
     def shutdown(self) -> None:
+        """Release the fan-out thread pool.  Idempotent; the cluster
+        remains usable afterwards (a new pool is created lazily)."""
         self._executor.shutdown()
+
+    close = shutdown
+
+    def __enter__(self) -> "HBaseCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
     def describe(self) -> dict:
         return {

@@ -33,6 +33,14 @@ class CoprocessorContext:
     def __init__(self, region: Region) -> None:
         self._region = region
         self.records_scanned = 0
+        #: Free-form endpoint counters (e.g. ``cells_decoded``); the
+        #: client sums them across regions into the call result so a
+        #: query's work profile is observable end to end.
+        self.counters: Dict[str, int] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump an endpoint-defined counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
 
     @property
     def region_id(self) -> int:
@@ -68,6 +76,26 @@ class CoprocessorContext:
         for cell in self._region.scan(family, start_row, stop_row, scan_filter):
             self.records_scanned += 1
             yield cell
+
+    def scan_uncounted(
+        self,
+        family: str,
+        start_row: Optional[bytes] = None,
+        stop_row: Optional[bytes] = None,
+        scan_filter: Optional[ScanFilter] = None,
+    ) -> Iterator[Cell]:
+        """Region-local scan without the per-cell counting wrapper.
+
+        Hot-path escape hatch: the endpoint's own loop touches every
+        cell anyway, so it can tally locally and report once via
+        :meth:`add_scanned` instead of paying an extra generator frame
+        per cell.  Callers MUST report, or the cost model undercharges.
+        """
+        return self._region.scan(family, start_row, stop_row, scan_filter)
+
+    def add_scanned(self, count: int) -> None:
+        """Report cells consumed through :meth:`scan_uncounted`."""
+        self.records_scanned += count
 
     def contains_row(self, row: bytes) -> bool:
         """True if this region owns ``row`` — endpoints use it to skip

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional, Sequence
+import heapq
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..errors import StorageError
 from .cell import Cell
@@ -97,48 +98,76 @@ class StoreFile:
         start_row: Optional[bytes] = None,
         stop_row: Optional[bytes] = None,
     ) -> Iterator[Cell]:
-        """Yield cells with ``start_row <= row < stop_row`` in order."""
+        """Yield cells with ``start_row <= row < stop_row`` in order.
+
+        Both range ends resolve by binary search on the precomputed key
+        list, so the inner loop carries no per-cell stop comparison.
+        """
         if not self.overlaps_range(start_row, stop_row):
-            return
+            return iter(())
         lo = 0
         if start_row is not None:
             lo = bisect.bisect_left(self._keys, (start_row,))
-        for i in range(lo, len(self._cells)):
-            cell = self._cells[i]
-            if stop_row is not None and cell.row >= stop_row:
-                break
-            yield cell
+        hi = len(self._cells)
+        if stop_row is not None:
+            hi = bisect.bisect_left(self._keys, (stop_row,), lo)
+        if lo == 0 and hi == len(self._cells):
+            return iter(self._cells)
+        return iter(self._cells[lo:hi])
 
     def cells(self) -> List[Cell]:
         return list(self._cells)
 
 
-def merge_sorted_runs(runs: Sequence[Sequence[Cell]]) -> List[Cell]:
-    """K-way merge of sorted cell runs into one sorted run.
+def iter_merge_sorted_runs(runs: Sequence[Iterable[Cell]]) -> Iterator[Cell]:
+    """Lazy k-way merge of sorted cell runs into one sorted stream.
 
-    Used by compaction and by the region read path.  Duplicate
-    coordinates+timestamp collapse to the cell from the *latest* run
-    (later runs are newer).
+    Duplicate coordinates+timestamp collapse to the cell from the
+    *latest* run (later runs are newer).  Sort keys are computed once
+    per cell and carried through the heap; the last emitted key is kept
+    instead of re-derived, so each cell costs exactly one ``sort_key()``
+    call regardless of how often it is compared.
     """
-    import heapq
-
-    merged: List[Cell] = []
-    heap = []
     iters = [iter(run) for run in runs]
+    live = []
     for run_idx, it in enumerate(iters):
         first = next(it, None)
         if first is not None:
-            # Later runs win ties -> use negative run index in the key.
-            heapq.heappush(heap, (first.sort_key(), -run_idx, first, run_idx))
+            live.append((first, run_idx, it))
+
+    if not live:
+        return
+    if len(live) == 1:
+        # Single-run fast path (the common case for a freshly-ingested
+        # region: memstore only, nothing flushed yet).  No dedup needed:
+        # same-key rewrites collapse inside the memstore and inside
+        # compaction output, so duplicates only arise *across* runs.
+        cell, _run_idx, it = live[0]
+        yield cell
+        yield from it
+        return
+
+    heap = []
+    for cell, run_idx, it in live:
+        # Later runs win ties -> use negative run index in the key.
+        heap.append((cell.sort_key(), -run_idx, cell, it))
+    heapq.heapify(heap)
+    push = heapq.heappush
+    pop = heapq.heappop
+    last_key = None
     while heap:
-        _key, _tie, cell, run_idx = heapq.heappop(heap)
-        if merged and merged[-1].sort_key() == cell.sort_key():
-            # Same coordinates+version: the earlier-popped (newer run,
-            # because of the tie-break) cell already won.
-            pass
-        else:
-            merged.append(cell)
-        nxt = next(iters[run_idx], None)
+        key, tie, cell, it = pop(heap)
+        if key != last_key:
+            yield cell
+            last_key = key
+        # else: same coordinates+version — the earlier-popped (newer
+        # run, because of the tie-break) cell already won.
+        nxt = next(it, None)
         if nxt is not None:
-            heapq.heappush(heap, (nxt.sort_key(), -run_idx, nxt, run_idx))
-    return merged
+            push(heap, (nxt.sort_key(), tie, nxt, it))
+
+
+def merge_sorted_runs(runs: Sequence[Sequence[Cell]]) -> List[Cell]:
+    """Materialized k-way merge (compaction's contract); see
+    :func:`iter_merge_sorted_runs` for the streaming form."""
+    return list(iter_merge_sorted_runs(runs))

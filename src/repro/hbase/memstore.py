@@ -56,15 +56,20 @@ class MemStore:
         start_row: Optional[bytes] = None,
         stop_row: Optional[bytes] = None,
     ) -> Iterator[Cell]:
-        """Yield cells with ``start_row <= row < stop_row`` in order."""
+        """Yield cells with ``start_row <= row < stop_row`` in order.
+
+        Both ends resolve by binary search, so iteration never touches
+        (or compares against) cells outside the range.
+        """
         lo = 0
         if start_row is not None:
             lo = bisect.bisect_left(self._keys, (start_row,))
-        for i in range(lo, len(self._cells)):
-            cell = self._cells[i]
-            if stop_row is not None and cell.row >= stop_row:
-                break
-            yield cell
+        hi = len(self._cells)
+        if stop_row is not None:
+            hi = bisect.bisect_left(self._keys, (stop_row,), lo)
+        if lo == 0 and hi == len(self._cells):
+            return iter(self._cells)
+        return iter(self._cells[lo:hi])
 
     def snapshot(self) -> List[Cell]:
         """The sorted cell list, for flushing into a store file."""

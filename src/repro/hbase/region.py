@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 from ..errors import ColumnFamilyNotFoundError, StorageError
 from .cell import Cell
 from .filters import ScanFilter
-from .hfile import StoreFile, merge_sorted_runs
+from .hfile import StoreFile, iter_merge_sorted_runs, merge_sorted_runs
 from .memstore import MemStore
 from .wal import WriteAheadLog
 
@@ -369,22 +369,39 @@ class Region:
         if self.end_key is not None and (stop_row is None or stop_row > self.end_key):
             stop_row = self.end_key
 
-        runs = [list(self._memstore(family).scan(start_row, stop_row))]
-        for sf in self._store_files[family]:
-            if sf.overlaps_range(start_row, stop_row):
-                runs.append(list(sf.scan(start_row, stop_row)))
-        # Reverse so that memstore (newest) is the *last* run and wins
-        # merge ties; merge_sorted_runs prefers later runs on ties.
-        merged = merge_sorted_runs(list(reversed(runs)))
+        # Lazy k-way merge over the live iterators — no run is ever
+        # materialized; cells stream through dedup/tombstone/filter
+        # logic straight to the caller.  Reverse so that memstore
+        # (newest) is the *last* run and wins merge ties;
+        # iter_merge_sorted_runs prefers later runs on ties.
+        runs = [
+            sf.scan(start_row, stop_row)
+            for sf in self._store_files[family]
+            if sf.overlaps_range(start_row, stop_row)
+        ]
+        runs.reverse()
+        runs.append(self._memstore(family).scan(start_row, stop_row))
+        merged = iter_merge_sorted_runs(runs)
 
-        last_coords = None
+        # Dedup/tombstone state is tracked with three scalars instead of
+        # a coordinates() tuple per cell: the row comparison short-
+        # circuits almost every iteration on row-unique workloads.
+        ttl = self._ttl_cutoff
+        check_ttl = bool(ttl)
+        last_row = last_family = last_qualifier = None
         delete_ts = -1
+        emitted = False
         for cell in merged:
-            if self._expired(cell):
+            if check_ttl and cell.timestamp < ttl.get(cell.family, 0):
                 continue
-            coords = cell.coordinates()
-            if coords != last_coords:
-                last_coords = coords
+            if (
+                cell.row != last_row
+                or cell.qualifier != last_qualifier
+                or cell.family != last_family
+            ):
+                last_row = cell.row
+                last_family = cell.family
+                last_qualifier = cell.qualifier
                 delete_ts = -1
                 emitted = False
             else:

@@ -84,17 +84,24 @@ class HTable:
     def regions_for_range(
         self, start_row: Optional[bytes], stop_row: Optional[bytes]
     ) -> List[Region]:
-        """Regions intersecting ``[start_row, stop_row)`` in key order."""
-        out = []
-        for region in self.regions:
-            if stop_row is not None and region.start_key is not None:
-                if region.start_key >= stop_row:
-                    continue
-            if start_row is not None and region.end_key is not None:
-                if region.end_key <= start_row:
-                    continue
-            out.append(region)
-        return out
+        """Regions intersecting ``[start_row, stop_row)`` in key order.
+
+        O(log regions + matches) via bisect over the sorted start keys —
+        this is the routing primitive the client tier leans on, so it
+        must not degrade into a full region sweep per lookup.
+        """
+        lo = 0
+        if start_row is not None:
+            # First region whose end covers start_row: the region at
+            # bisect_right(start_keys, start_row) starts at or before it.
+            lo = bisect.bisect_right(self._start_keys, start_row)
+        hi = len(self.regions)
+        if stop_row is not None:
+            # Regions from bisect_left(start_keys, stop_row) onward start
+            # at or beyond stop_row and cannot intersect.  _start_keys is
+            # offset by one (region 0 has start_key None), hence the +1.
+            hi = bisect.bisect_left(self._start_keys, stop_row) + 1
+        return self.regions[lo:hi]
 
     # ------------------------------------------------------------- writes
 

@@ -355,5 +355,11 @@ class TestMonitoring:
         assert snap["counters"]["queries.personalized"] == 1
         assert snap["counters"]["queries.non_personalized"] == 1
         assert snap["latencies"]["query.personalized"]["count"] == 1
+        # Query-path profiling counters flow through the wrapper.
+        assert snap["counters"]["cells.merged"] == 1
+        assert snap["counters"]["cells.decoded"] == 1
+        assert snap["counters"]["regions.used"] == 1
+        regions = len(small_platform.visits_repository.table.regions)
+        assert snap["counters"]["regions.pruned"] == regions - 1
         # Delegation still works for untracked attributes.
         assert wrapped.pois is small_platform.poi_repository

@@ -1,0 +1,89 @@
+"""Worker-thread lifecycle: pools are created lazily and must be released
+by cluster/platform shutdown — a leaked ThreadPoolExecutor keeps its
+threads alive for the whole process.
+"""
+
+import threading
+
+from repro.cluster import ParallelExecutor
+from repro.config import ClusterConfig
+from repro.core.modules.query_answering import QueryAnsweringModule, SearchQuery
+from repro.core.platform import MoDisSENSE
+from repro.core.repositories.poi import POIRepository
+from repro.core.repositories.visits import VisitsRepository, VisitStruct
+from repro.hbase import HBaseCluster
+from repro.sqlstore import SqlEngine
+
+
+def force_pool(cluster):
+    """Run a real multi-region coprocessor query so the cluster's lazy
+    fan-out pool actually spins up worker threads."""
+    pois = POIRepository(SqlEngine())
+    visits = VisitsRepository(cluster, num_regions=8)
+    for uid in range(1, 20):
+        visits.store(VisitStruct(user_id=uid, poi_id=1, timestamp=uid,
+                                 grade=0.5, poi_name="p", lat=1.0, lon=2.0))
+    qa = QueryAnsweringModule(pois, visits)
+    res = qa.search(SearchQuery(friend_ids=tuple(range(1, 20))))
+    assert res.records_scanned > 0
+    return cluster._executor
+
+
+class TestExecutorLifecycle:
+    def test_cluster_shutdown_releases_pool_threads(self):
+        baseline = threading.active_count()
+        cluster = HBaseCluster(ClusterConfig(num_nodes=4, regions_per_table=8))
+        executor = force_pool(cluster)
+        assert executor._pool is not None  # the query spun the pool up
+        assert threading.active_count() > baseline
+        cluster.shutdown()
+        assert executor._pool is None
+        assert threading.active_count() == baseline
+
+    def test_cluster_context_manager_shuts_down(self):
+        baseline = threading.active_count()
+        with HBaseCluster(
+            ClusterConfig(num_nodes=4, regions_per_table=8)
+        ) as cluster:
+            executor = force_pool(cluster)
+            assert executor._pool is not None
+        assert executor._pool is None
+        assert threading.active_count() == baseline
+
+    def test_shutdown_is_idempotent_and_cluster_stays_usable(self):
+        cluster = HBaseCluster(ClusterConfig(num_nodes=4, regions_per_table=8))
+        try:
+            executor = force_pool(cluster)
+            cluster.shutdown()
+            cluster.shutdown()  # second call is a no-op
+            assert executor._pool is None
+            # A new pool is created lazily: queries still work after close.
+            table = cluster.table("visits")
+            assert len(table.regions) == 8
+        finally:
+            cluster.shutdown()
+
+    def test_platform_shutdown_releases_all_pools(self):
+        baseline = threading.active_count()
+        with MoDisSENSE() as platform:
+            executor = platform.hbase._executor
+            # A multi-region personalized query spins the fan-out pool up.
+            for uid in range(1, 20):
+                platform.visits_repository.store(
+                    VisitStruct(user_id=uid, poi_id=1, timestamp=10 + uid,
+                                grade=0.9, poi_name="p", lat=1.0, lon=2.0)
+                )
+            platform.query_answering.search(
+                SearchQuery(friend_ids=tuple(range(1, 20)))
+            )
+            assert executor._pool is not None
+        assert executor._pool is None
+        assert threading.active_count() == baseline
+
+    def test_parallel_executor_context_manager(self):
+        baseline = threading.active_count()
+        with ParallelExecutor(max_workers=4) as ex:
+            out = ex.map_ordered(lambda x: x * x, [1, 2, 3, 4])
+            assert out == [1, 4, 9, 16]
+        assert ex._pool is None
+        assert threading.active_count() == baseline
