@@ -84,7 +84,7 @@ def test_routed_vs_broadcast_fanout(bench_platform, benchmark):
         call = cluster.coprocessor_exec(
             table_name, qa._coprocessor, broadcast_request
         )
-        broadcast = qa._merge_partials(query, call)
+        broadcast = qa.merge_and_rank(query, call)
         broadcast_s = time.perf_counter() - t0
         return routed, routed_s, broadcast, broadcast_s
 
@@ -110,7 +110,7 @@ def test_routed_vs_broadcast_fanout(bench_platform, benchmark):
     small_query = SearchQuery(friend_ids=friend_sample(8, seed=58),
                               sort_by="interest", limit=10)
     small_routed = qa.search(small_query)
-    small_broadcast = qa._merge_partials(
+    small_broadcast = qa.merge_and_rank(
         small_query,
         cluster.coprocessor_exec(
             table_name, qa._coprocessor,

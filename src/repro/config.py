@@ -131,12 +131,46 @@ class JobsConfig:
 
 
 @dataclass
+class TracingConfig:
+    """Knobs of the query-tracing layer (``repro.core.tracing``).
+
+    Tracing is **on by default**: spans only observe (results are
+    identical with tracing on or off), per-query overhead is a handful
+    of lock-protected appends, and both trace buffers are bounded ring
+    buffers — the CI overhead smoke job enforces <10% end-to-end cost.
+    Set ``enabled=False`` to hand out no-op spans everywhere.
+    """
+
+    enabled: bool = True
+    #: Ring-buffer capacity for assembled span trees (``admin_traces``).
+    max_traces: int = 128
+    #: Root spans at or above this latency (simulated ``latency_ms`` tag
+    #: when present, wall duration otherwise) are also captured in the
+    #: slow-query log.  ``None`` disables the log.
+    slow_query_threshold_ms: float = 250.0
+    #: Slow-query ring-buffer capacity.
+    slow_log_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_traces < 1:
+            raise ConfigError("max_traces must be >= 1")
+        if self.slow_log_size < 1:
+            raise ConfigError("slow_log_size must be >= 1")
+        if (
+            self.slow_query_threshold_ms is not None
+            and self.slow_query_threshold_ms < 0
+        ):
+            raise ConfigError("slow_query_threshold_ms cannot be negative")
+
+
+@dataclass
 class PlatformConfig:
     """Top-level configuration for a MoDisSENSE deployment."""
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     sentiment: SentimentConfig = field(default_factory=SentimentConfig)
     jobs: JobsConfig = field(default_factory=JobsConfig)
+    tracing: TracingConfig = field(default_factory=TracingConfig)
     #: Seed for all synthetic-data randomness; fixed for reproducibility.
     seed: int = 2015
 

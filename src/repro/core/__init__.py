@@ -15,5 +15,6 @@ This package is the paper's primary contribution — everything in Figure
 
 from .platform import MoDisSENSE
 from .modules.query_answering import SearchQuery, SearchResult, ScoredPOI
+from .tracing import Tracer
 
-__all__ = ["MoDisSENSE", "SearchQuery", "SearchResult", "ScoredPOI"]
+__all__ = ["MoDisSENSE", "SearchQuery", "SearchResult", "ScoredPOI", "Tracer"]

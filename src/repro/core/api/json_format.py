@@ -93,7 +93,13 @@ REQUEST_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "network": (str, False),
     },
     "admin_describe": {},
-    "admin_metrics": {},
+    "admin_metrics": {
+        "format": (str, False),
+    },
+    "admin_traces": {
+        "limit": (int, False),
+        "slow": (bool, False),
+    },
     "explain": {
         "bbox": (list, False),
         "keywords": (list, False),

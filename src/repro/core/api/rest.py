@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List
 
 from ...datagen.gps import GPSPoint
-from ...errors import ReproError
+from ...errors import ReproError, ValidationError
 from ...geo import BoundingBox
 from ..modules.query_answering import SearchQuery
 from ..modules.trending import TrendingQuery
@@ -38,10 +38,14 @@ class RestApi:
             "friends": self._friends,
             "admin_describe": self._admin_describe,
             "admin_metrics": self._admin_metrics,
+            "admin_traces": self._admin_traces,
             "explain": self._explain,
         }
-        #: Optional metrics sink; set by attach_metrics().
-        self._metrics = None
+        #: Observability sinks: auto-wired from the platform (which owns
+        #: a registry + tracer); attach_metrics()/attach_tracer()
+        #: override them, e.g. to segregate API-tier metrics.
+        self._metrics = getattr(platform, "metrics", None)
+        self._tracer = getattr(platform, "tracer", None)
 
     def handle(self, endpoint: str, request: Dict[str, Any]) -> Dict[str, Any]:
         """Dispatch one request; always returns a response envelope."""
@@ -50,8 +54,16 @@ class RestApi:
             if handler is None:
                 return ApiResponse.fail("unknown endpoint %r" % endpoint).as_dict()
             validate_request(endpoint, request)
+            if self._metrics is not None:
+                self._metrics.increment(
+                    "api.requests", labels={"endpoint": endpoint}
+                )
             return ApiResponse.ok(handler(request)).as_dict()
         except ReproError as exc:
+            if self._metrics is not None:
+                self._metrics.increment(
+                    "api.errors", labels={"endpoint": endpoint}
+                )
             return ApiResponse.fail(str(exc)).as_dict()
 
     def handle_json(self, endpoint: str, body: str) -> str:
@@ -194,6 +206,11 @@ class RestApi:
         through the ``admin_metrics`` endpoint."""
         self._metrics = metrics
 
+    def attach_tracer(self, tracer) -> None:
+        """Expose a :class:`~repro.core.tracing.Tracer` through the
+        ``admin_traces`` endpoint."""
+        self._tracer = tracer
+
     def _explain(self, req: Dict) -> Dict:
         """Per-region execution profile of a personalized query."""
         query = SearchQuery(
@@ -209,9 +226,34 @@ class RestApi:
         return self.platform.describe()
 
     def _admin_metrics(self, req: Dict) -> Dict:
+        """Metrics registry: JSON snapshot, or Prometheus text
+        exposition when ``format`` is ``"prometheus"`` (the body plus
+        the content type a scrape endpoint must serve)."""
         if self._metrics is None:
-            return {"counters": {}, "latencies": {}}
+            return {"counters": {}, "gauges": {}, "latencies": {}}
+        fmt = req.get("format", "json")
+        if fmt == "prometheus":
+            return {
+                "content_type": "text/plain; version=0.0.4; charset=utf-8",
+                "body": self._metrics.to_prometheus(),
+            }
+        if fmt != "json":
+            raise ValidationError(
+                "format must be 'json' or 'prometheus', got %r" % fmt
+            )
         return self._metrics.snapshot()
+
+    def _admin_traces(self, req: Dict) -> Dict:
+        """Recent span trees (newest first); ``slow`` selects the
+        slow-query log instead of the main ring buffer."""
+        if self._tracer is None:
+            return {"traces": [], "tracing": {"enabled": False}}
+        limit = req.get("limit")
+        if req.get("slow"):
+            traces = self._tracer.slow_queries(limit)
+        else:
+            traces = self._tracer.recent_traces(limit)
+        return {"traces": traces, "tracing": self._tracer.describe()}
 
     def _friends(self, req: Dict) -> Dict:
         user_id = req["user_id"]

@@ -23,6 +23,7 @@ from ..repositories.visits import (
     VisitsRepository,
 )
 from ..serialization import decode_json
+from ..tracing import NULL_TRACER, Tracer
 
 SORT_INTEREST = "interest"
 SORT_HOTNESS = "hotness"
@@ -151,6 +152,7 @@ class VisitScanCoprocessor(Coprocessor):
         decode_grade = VisitsRepository.decode_grade
         scan = context.scan_uncounted
 
+        stage = context.trace("region.aggregate")
         for friend_id in request.friend_ids:
             if not request.routed:
                 prefix = user_prefix(friend_id)
@@ -195,14 +197,20 @@ class VisitScanCoprocessor(Coprocessor):
                     lon,
                 ]
 
+        stage.tag("cells_scanned", cells_scanned)
+        stage.tag("cells_decoded", cells_decoded)
+        stage.finish()
+
         context.add_scanned(cells_scanned)
         context.count("cells_decoded", cells_decoded)
-        partial = [
-            (poi_id, entry[0], entry[1], entry[2], entry[3], entry[4])
-            for poi_id, entry in aggregates.items()
-        ]
-        # Region-local sort by aggregated grade; optionally truncate.
-        partial.sort(key=lambda item: item[1], reverse=True)
+        with context.trace("region.sort") as sort_stage:
+            partial = [
+                (poi_id, entry[0], entry[1], entry[2], entry[3], entry[4])
+                for poi_id, entry in aggregates.items()
+            ]
+            # Region-local sort by aggregated grade; optionally truncate.
+            partial.sort(key=lambda item: item[1], reverse=True)
+            sort_stage.tag("partials", len(partial))
         if request.per_region_limit > 0:
             return partial[: request.per_region_limit]
         return partial
@@ -212,15 +220,25 @@ class VisitScanCoprocessor(Coprocessor):
 
 
 class QueryAnsweringModule:
-    """Routes queries to the SQL path or the coprocessor path."""
+    """Routes queries to the SQL path or the coprocessor path.
+
+    ``tracer`` (see :mod:`repro.core.tracing`) makes every personalized
+    query emit a span tree — ``query.personalized`` → ``route`` →
+    ``fanout`` (with per-region ``region.scan`` children) → ``merge`` →
+    ``rank`` — retrievable through the tracer's ring buffer and the
+    ``admin_traces`` endpoint.  The default is the shared disabled
+    tracer: spans only observe, so results are identical either way.
+    """
 
     def __init__(
         self,
         poi_repository: POIRepository,
         visits_repository: VisitsRepository,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.pois = poi_repository
         self.visits = visits_repository
+        self.tracer = tracer or NULL_TRACER
         self._coprocessor = VisitScanCoprocessor()
 
     # -------------------------------------------------------- public API
@@ -229,7 +247,10 @@ class QueryAnsweringModule:
         """Answer one query."""
         if query.personalized:
             return self.search_personalized_batch([query])[0]
-        return self._search_sql(query)
+        with self.tracer.span(
+            "query.non_personalized", keywords=len(query.keywords)
+        ):
+            return self._search_sql(query)
 
     def search_personalized_batch(
         self, queries: Sequence[SearchQuery]
@@ -243,22 +264,54 @@ class QueryAnsweringModule:
         region client-side, every region receives only its own friends,
         and regions owning no friends are never invoked.
         """
+        tracer = self.tracer
         routed_requests = []
         route_items = []
+        roots = []
+        fanouts = []
         for query in queries:
             if not query.personalized:
                 raise QueryError("batch path requires personalized queries")
-            routed_requests.append(self._route_query(query))
+            root = tracer.span(
+                "query.personalized",
+                friends=len(query.friend_ids),
+                sort_by=query.sort_by,
+                limit=query.limit,
+            )
+            with tracer.span("route", parent=root) as route_span:
+                routed = self._route_query(query)
+                route_span.tag("regions_used", len(routed))
+            routed_requests.append(routed)
             route_items.append(len(query.friend_ids))
+            roots.append(root)
+            # The fan-out span stays open across the shared executor
+            # pass below; the HBase client parents every region.scan
+            # span under it and adds straggler attribution.
+            fanouts.append(tracer.span("fanout", parent=root))
         calls = self.visits.cluster.coprocessor_exec_routed(
             self.visits.table.name,
             self._coprocessor,
             routed_requests,
             route_items=route_items,
+            tracer=tracer,
+            trace_parents=fanouts,
         )
         results = []
-        for query, call in zip(queries, calls):
-            results.append(self._merge_partials(query, call))
+        for query, call, root, fanout in zip(queries, calls, roots, fanouts):
+            fanout.finish()
+            with tracer.span("merge", parent=root) as merge_span:
+                merged = self._merge_partials(query, call)
+                merge_span.tag("partials", len(call.result))
+                merge_span.tag("pois", len(merged))
+            with tracer.span("rank", parent=root) as rank_span:
+                result = self._rank(query, merged, call)
+                rank_span.tag("returned", len(result.pois))
+            root.tag("latency_ms", call.latency_ms)
+            root.tag("records_scanned", call.records_scanned)
+            root.tag("regions_used", len(call.per_region_records))
+            root.tag("regions_pruned", call.regions_pruned)
+            root.finish()
+            results.append(result)
         return results
 
     def _route_query(self, query: SearchQuery) -> Dict:
@@ -328,7 +381,13 @@ class QueryAnsweringModule:
 
     # ---------------------------------------------------------- internals
 
-    def _merge_partials(self, query: SearchQuery, call) -> SearchResult:
+    def merge_and_rank(self, query: SearchQuery, call) -> SearchResult:
+        """Web-tier merge + rank in one step: the path for ablations and
+        tests that drive the coprocessor fan-out directly (untraced)."""
+        return self._rank(query, self._merge_partials(query, call), call)
+
+    def _merge_partials(self, query: SearchQuery, call) -> Dict[int, list]:
+        """Web-tier merge: fold per-region partial aggregates per POI."""
         merged: Dict[int, list] = {}
         for poi_id, grade_sum, count, name, lat, lon in call.result:
             entry = merged.get(poi_id)
@@ -337,7 +396,12 @@ class QueryAnsweringModule:
             else:
                 entry[0] += grade_sum
                 entry[1] += count
+        return merged
 
+    def _rank(
+        self, query: SearchQuery, merged: Dict[int, list], call
+    ) -> SearchResult:
+        """Web-tier rank: score merged aggregates and keep the top-k."""
         scored = []
         for poi_id, (grade_sum, count, name, lat, lon) in merged.items():
             if query.sort_by == SORT_INTEREST:

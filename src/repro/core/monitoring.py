@@ -1,18 +1,47 @@
-"""Platform observability: counters and latency histograms.
+"""Platform observability: counters, gauges and latency histograms.
 
 A production deployment of the paper's architecture needs to see query
 volume, per-path latencies and batch-job progress; this module provides
 the metrics surface, and :class:`InstrumentedQueryAnswering` wraps the
 query module so every search is recorded transparently.
+
+The registry is **thread-safe**: the Figure-3 concurrency path records
+from :class:`~repro.cluster.ParallelExecutor` threads, so every counter
+bump and histogram record happens under a lock.  Metrics support
+Prometheus-style labels (``query.personalized{regions="3"}``) and the
+whole registry renders to the Prometheus text exposition format via
+:meth:`PlatformMetrics.to_prometheus` for the ``admin_metrics``
+endpoint.
 """
 
 from __future__ import annotations
 
+import math
 import random as _random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import threading
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ValidationError
+
+#: Internal metric key: (name, sorted (label, value) pairs).
+_MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _metric_key(name: str, labels: Optional[Mapping] = None) -> _MetricKey:
+    if not labels:
+        return (name, ())
+    return (
+        name,
+        tuple(sorted((str(k), str(v)) for k, v in labels.items())),
+    )
+
+
+def _flat_name(key: _MetricKey) -> str:
+    """Human/JSON-facing name: ``name`` or ``name{k=v,...}``."""
+    name, labels = key
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % pair for pair in labels))
 
 
 class LatencyHistogram:
@@ -22,6 +51,10 @@ class LatencyHistogram:
     a fixed seed for reproducibility): every recorded value has equal
     probability of residing in the reservoir, so percentile reads stay
     unbiased even when traffic trends over time.
+
+    Thread-safe: concurrent :meth:`record` calls (executor threads in
+    the Figure-3 path) serialize on an internal lock, so ``count`` and
+    ``total`` are exact and the reservoir never corrupts.
     """
 
     def __init__(self, max_samples: int = 10_000) -> None:
@@ -31,6 +64,7 @@ class LatencyHistogram:
         self._sorted: Optional[List[float]] = []
         self._max = max_samples
         self._rng = _random.Random(0xC0FFEE)
+        self._lock = threading.Lock()
         self.count = 0
         self.total = 0.0
         self.max_value = 0.0
@@ -38,34 +72,42 @@ class LatencyHistogram:
     def record(self, value_ms: float) -> None:
         if value_ms < 0:
             raise ValidationError("latency cannot be negative")
-        self.count += 1
-        self.total += value_ms
-        self.max_value = max(self.max_value, value_ms)
-        if len(self._samples) < self._max:
-            self._samples.append(value_ms)
-        else:
-            slot = self._rng.randrange(self.count)
-            if slot < self._max:
-                self._samples[slot] = value_ms
-        self._sorted = None  # invalidate the percentile cache
+        with self._lock:
+            self.count += 1
+            self.total += value_ms
+            if value_ms > self.max_value:
+                self.max_value = value_ms
+            if len(self._samples) < self._max:
+                self._samples.append(value_ms)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._max:
+                    self._samples[slot] = value_ms
+            self._sorted = None  # invalidate the percentile cache
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0 < p <= 100) of recorded samples."""
+        """The ``p``-th percentile (0 < p <= 100) of recorded samples.
+
+        Uses the *nearest-rank* definition: the value at (1-indexed)
+        rank ``ceil(p/100 * N)`` of the sorted samples.  Deterministic
+        on tiny sample sets: ``percentile(50)`` of ``[1, 2, 3, 4]`` is
+        ``2`` (rank ``ceil(2.0) = 2``), and a single-sample histogram
+        returns that sample for every ``p``.
+        """
         if not 0.0 < p <= 100.0:
             raise ValidationError("percentile must be in (0, 100]")
-        if not self._samples:
-            return 0.0
-        if self._sorted is None:
-            self._sorted = sorted(self._samples)
-        idx = min(
-            len(self._sorted) - 1,
-            max(0, int(round(p / 100.0 * len(self._sorted))) - 1),
-        )
-        return self._sorted[idx]
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            if self._sorted is None:
+                self._sorted = sorted(self._samples)
+            rank = math.ceil(p / 100.0 * len(self._sorted))
+            idx = min(len(self._sorted) - 1, max(0, rank - 1))
+            return self._sorted[idx]
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -79,36 +121,169 @@ class LatencyHistogram:
 
 
 class PlatformMetrics:
-    """Counters + histograms for every platform surface."""
+    """Thread-safe counters + gauges + histograms with label support.
+
+    Every mutation runs under one registry lock (histogram recording
+    additionally serializes on the histogram's own lock, so handing a
+    histogram object to a hot loop stays safe).  Labels are free-form
+    string pairs; a labeled metric and its unlabeled namesake are
+    distinct series, exactly as in Prometheus.
+    """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, int] = {}
-        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+        self._counters: Dict[_MetricKey, int] = {}
+        self._gauges: Dict[_MetricKey, float] = {}
+        self._histograms: Dict[_MetricKey, LatencyHistogram] = {}
 
-    def increment(self, name: str, amount: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + amount
+    # ----------------------------------------------------------- counters
 
-    def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
+    def increment(
+        self, name: str, amount: int = 1, labels: Optional[Mapping] = None
+    ) -> None:
+        key = _metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
 
-    def histogram(self, name: str) -> LatencyHistogram:
-        hist = self._histograms.get(name)
-        if hist is None:
-            hist = self._histograms[name] = LatencyHistogram()
-        return hist
+    def counter(self, name: str, labels: Optional[Mapping] = None) -> int:
+        key = _metric_key(name, labels)
+        with self._lock:
+            return self._counters.get(key, 0)
 
-    def record_latency(self, name: str, value_ms: float) -> None:
-        self.histogram(name).record(value_ms)
+    # ------------------------------------------------------------- gauges
+
+    def set_gauge(
+        self, name: str, value: float, labels: Optional[Mapping] = None
+    ) -> None:
+        key = _metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def gauge(self, name: str, labels: Optional[Mapping] = None) -> float:
+        key = _metric_key(name, labels)
+        with self._lock:
+            return self._gauges.get(key, 0.0)
+
+    # --------------------------------------------------------- histograms
+
+    def histogram(
+        self, name: str, labels: Optional[Mapping] = None
+    ) -> LatencyHistogram:
+        key = _metric_key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = LatencyHistogram()
+            return hist
+
+    def record_latency(
+        self, name: str, value_ms: float, labels: Optional[Mapping] = None
+    ) -> None:
+        self.histogram(name, labels).record(value_ms)
+
+    # ------------------------------------------------------------- export
 
     def snapshot(self) -> Dict[str, object]:
-        """Everything, JSON-shaped, for a dashboard or the REST API."""
+        """Everything, JSON-shaped, for a dashboard or the REST API.
+
+        Labeled series render as ``name{k=v,...}`` keys alongside their
+        unlabeled namesakes.
+        """
+        with self._lock:
+            counters = {_flat_name(k): v for k, v in self._counters.items()}
+            gauges = {_flat_name(k): v for k, v in self._gauges.items()}
+            histograms = list(self._histograms.items())
         return {
-            "counters": dict(self._counters),
+            "counters": counters,
+            "gauges": gauges,
             "latencies": {
-                name: hist.summary()
-                for name, hist in self._histograms.items()
+                _flat_name(key): hist.summary() for key, hist in histograms
             },
         }
+
+    def to_prometheus(self, prefix: str = "modissense") -> str:
+        """The registry in Prometheus text exposition format (v0.0.4).
+
+        Counters gain the conventional ``_total`` suffix, histograms
+        render as summaries (``quantile`` labels + ``_sum``/``_count``),
+        and metric names are sanitized to the Prometheus charset with
+        ``prefix`` prepended.
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+
+        lines: List[str] = []
+        typed: set = set()
+
+        def emit(name: str, kind: str, labels, value) -> None:
+            if name not in typed:
+                lines.append("# TYPE %s %s" % (name, kind))
+                typed.add(name)
+            lines.append("%s%s %s" % (name, _prom_labels(labels), _prom_value(value)))
+
+        for (name, labels), value in counters:
+            emit("%s_%s_total" % (prefix, _prom_name(name)), "counter", labels, value)
+        for (name, labels), value in gauges:
+            emit("%s_%s" % (prefix, _prom_name(name)), "gauge", labels, value)
+        for (name, labels), hist in histograms:
+            base = "%s_%s_ms" % (prefix, _prom_name(name))
+            if base not in typed:
+                lines.append("# TYPE %s summary" % base)
+                typed.add(base)
+            for q, p in (("0.5", 50), ("0.95", 95), ("0.99", 99)):
+                q_labels = (("quantile", q),) + labels
+                lines.append(
+                    "%s%s %s"
+                    % (base, _prom_labels(q_labels), _prom_value(hist.percentile(p)))
+                )
+            lines.append(
+                "%s_sum%s %s" % (base, _prom_labels(labels), _prom_value(hist.total))
+            )
+            lines.append(
+                "%s_count%s %s" % (base, _prom_labels(labels), _prom_value(hist.count))
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name to the Prometheus charset."""
+    out = []
+    for ch in name:
+        if ch.isalnum() or ch == "_" or ch == ":":
+            out.append(ch)
+        else:
+            out.append("_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        '%s="%s"' % (_prom_name(k), _prom_escape(v)) for k, v in labels
+    )
+    return "{%s}" % rendered
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_value(value) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
 
 
 class InstrumentedQueryAnswering:
@@ -141,6 +316,13 @@ class InstrumentedQueryAnswering:
     def _record_personalized(self, result) -> None:
         self.metrics.increment("queries.personalized")
         self.metrics.record_latency("query.personalized", result.latency_ms)
+        # Labeled series: latency distribution by fan-out width, so an
+        # operator can see whether wide queries drive the tail.
+        self.metrics.record_latency(
+            "query.personalized",
+            result.latency_ms,
+            labels={"regions": result.regions_used},
+        )
         self.metrics.increment("records.scanned", result.records_scanned)
         # Query-path profiling counters (route-then-stream pipeline):
         # cells merged = records the region scanners emitted; cells

@@ -30,6 +30,8 @@ from .modules.query_answering import (
     SearchQuery,
     SearchResult,
 )
+from .monitoring import InstrumentedQueryAnswering, PlatformMetrics
+from .tracing import Tracer
 from .modules.text_processing import TextProcessingModule
 from .modules.trajectory import TrajectoryModule
 from .modules.trending import TrendingModule, TrendingQuery
@@ -65,6 +67,10 @@ class MoDisSENSE:
     ) -> None:
         self.config = config or PlatformConfig()
 
+        # ---- observability tier (everything below reports into these)
+        self.metrics = PlatformMetrics()
+        self.tracer = Tracer.from_config(self.config.tracing)
+
         # ---- storage tier
         self.hbase = HBaseCluster(self.config.cluster)
         self.sql = SqlEngine()
@@ -92,7 +98,11 @@ class MoDisSENSE:
         }
 
         # ---- processing tier
-        self.job_runner = JobRunner(max_workers=self.config.cluster.total_cores)
+        self.job_runner = JobRunner(
+            max_workers=self.config.cluster.total_cores,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         self.user_management = UserManagementModule(self.plugins)
         self.text_processing = TextProcessingModule(
             self.text_repository, self.config.sentiment
@@ -105,8 +115,11 @@ class MoDisSENSE:
             text_processing=self.text_processing,
             poi_repository=self.poi_repository,
         )
-        self.query_answering = QueryAnsweringModule(
-            self.poi_repository, self.visits_repository
+        self.query_answering = InstrumentedQueryAnswering(
+            QueryAnsweringModule(
+                self.poi_repository, self.visits_repository, tracer=self.tracer
+            ),
+            metrics=self.metrics,
         )
         self.trending = TrendingModule(self.query_answering)
         self.hotin_update = HotInUpdateModule(
@@ -224,4 +237,5 @@ class MoDisSENSE:
             "pois": self.poi_repository.count(),
             "visits": self.visits_repository.count(),
             "networks": sorted(self.plugins),
+            "tracing": self.tracer.describe(),
         }

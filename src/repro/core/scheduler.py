@@ -9,10 +9,12 @@ and examples can replay whole platform days reproducibly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import ValidationError
+from .tracing import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -45,10 +47,19 @@ class PeriodicScheduler:
     must be processed.
     """
 
-    def __init__(self, start_at: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_at: float = 0.0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
         self.now = start_at
         self._jobs: Dict[str, ScheduledJob] = {}
         self._order: List[str] = []
+        #: Observability sinks: every firing emits a ``scheduler.job``
+        #: span and a per-job wall-time histogram (no-ops when unset).
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
 
     def register(
         self,
@@ -108,7 +119,19 @@ class PeriodicScheduler:
             )
             fire_time = job.next_fire_at
             self.now = fire_time
-            job.last_result = job.callback(fire_time)
+            with self.tracer.span(
+                "scheduler.job", job=job.name, fire_at=fire_time
+            ):
+                wall_start = time.perf_counter()
+                job.last_result = job.callback(fire_time)
+                wall_ms = (time.perf_counter() - wall_start) * 1e3
+            if self.metrics is not None:
+                self.metrics.increment(
+                    "scheduler.fired", labels={"job": job.name}
+                )
+                self.metrics.record_latency(
+                    "scheduler.job_wall", wall_ms, labels={"job": job.name}
+                )
             job.fire_count += 1
             job.next_fire_at = fire_time + job.period_s
             log.append((fire_time, job.name, job.last_result))
@@ -126,7 +149,11 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
     Periods come from the platform's :class:`~repro.config.JobsConfig`;
     the HotIn job aggregates over its configured trailing window.
     """
-    scheduler = PeriodicScheduler(start_at=start_at)
+    scheduler = PeriodicScheduler(
+        start_at=start_at,
+        tracer=getattr(platform, "tracer", None),
+        metrics=getattr(platform, "metrics", None),
+    )
     jobs = platform.config.jobs
 
     scheduler.register(

@@ -145,6 +145,8 @@ class HBaseCluster:
         coprocessor: Coprocessor,
         routed_requests: Sequence[Mapping[Region, Any]],
         route_items: Optional[Sequence[int]] = None,
+        tracer: Optional[Any] = None,
+        trace_parents: Optional[Sequence[Any]] = None,
     ) -> List[CoprocessorCallResult]:
         """Route-then-stream fan-out: each request already partitioned
         per region.
@@ -160,6 +162,12 @@ class HBaseCluster:
         request ``qi`` (e.g. the friend count); the simulation charges
         the routing term for them, keeping latencies honest about the
         client-side work.
+
+        ``tracer``/``trace_parents`` propagate trace context into the
+        fan-out: with a tracer, every region invocation opens a
+        ``region.scan`` span under ``trace_parents[qi]`` and the parent
+        is tagged with straggler attribution (which region dominated
+        the simulated fan-out and by how much).
         """
         table = self.table(table_name)
         routed = [
@@ -171,7 +179,12 @@ class HBaseCluster:
             cm = self.simulation.cost_model
             client_setup = [cm.routing_cost_s(n) for n in route_items]
         return self._exec_region_requests(
-            table, coprocessor, routed, client_setup_s=client_setup
+            table,
+            coprocessor,
+            routed,
+            client_setup_s=client_setup,
+            tracer=tracer,
+            trace_parents=trace_parents,
         )
 
     def _exec_region_requests(
@@ -180,26 +193,54 @@ class HBaseCluster:
         coprocessor: Coprocessor,
         per_request_regions: Sequence[Sequence[tuple]],
         client_setup_s: Optional[Sequence[float]] = None,
+        tracer: Optional[Any] = None,
+        trace_parents: Optional[Sequence[Any]] = None,
     ) -> List[CoprocessorCallResult]:
         """Shared fan-out engine: run ``(region, request)`` pairs per
         query on the thread pool, account the simulated timeline, merge."""
         total_regions = len(table.regions)
+        traced = tracer is not None and getattr(tracer, "enabled", False)
+        placement = self.simulation.region_placement if traced else {}
         per_request_partials: List[List[Any]] = []
         per_request_tasks: List[List[Task]] = []
         per_request_records: List[Dict[int, int]] = []
         per_request_results: List[Dict[int, int]] = []
         per_request_counters: List[Dict[str, int]] = []
+        per_request_spans: List[Dict[int, Any]] = []
 
         for qi, region_requests in enumerate(per_request_regions):
+            parent_span = (
+                trace_parents[qi]
+                if traced and trace_parents is not None
+                else None
+            )
+
             def run_one(pair):
                 region, request = pair
-                context = CoprocessorContext(region)
+                if traced:
+                    span = tracer.span(
+                        "region.scan",
+                        parent=parent_span,
+                        region_id=region.region_id,
+                        node=placement.get(region.region_id),
+                    )
+                    context = CoprocessorContext(region, tracer=tracer, span=span)
+                else:
+                    span = None
+                    context = CoprocessorContext(region)
                 partial = coprocessor.run(context, request)
+                if span is not None:
+                    span.tag("records_scanned", context.records_scanned)
+                    span.tag("region_scans_served", region.scans_served)
+                    for name, value in context.counters.items():
+                        span.tag(name, value)
+                    span.finish()
                 return (
                     region.region_id,
                     context.records_scanned,
                     partial,
                     context.counters,
+                    span,
                 )
 
             outcomes = self._executor.map_ordered(run_one, region_requests)
@@ -208,9 +249,12 @@ class HBaseCluster:
             records: Dict[int, int] = {}
             result_sizes: Dict[int, int] = {}
             counters: Dict[str, int] = {}
-            for region_id, scanned, partial, region_counters in outcomes:
+            spans: Dict[int, Any] = {}
+            for region_id, scanned, partial, region_counters, span in outcomes:
                 partials.append(partial)
                 records[region_id] = scanned
+                if span is not None:
+                    spans[region_id] = span
                 try:
                     result_sizes[region_id] = len(partial)
                 except TypeError:
@@ -230,6 +274,7 @@ class HBaseCluster:
             per_request_records.append(records)
             per_request_results.append(result_sizes)
             per_request_counters.append(counters)
+            per_request_spans.append(spans)
 
         timelines = self.simulation.run_queries(
             per_request_tasks, client_setup_s=client_setup_s
@@ -237,17 +282,69 @@ class HBaseCluster:
         results = []
         for qi in range(len(per_request_regions)):
             merged = coprocessor.merge(per_request_partials[qi])
+            regions_pruned = total_regions - len(per_request_regions[qi])
+            if traced:
+                self._attribute_fanout(
+                    per_request_spans[qi],
+                    per_request_records[qi],
+                    trace_parents[qi] if trace_parents is not None else None,
+                    timelines[qi],
+                    regions_pruned,
+                )
             results.append(
                 CoprocessorCallResult(
                     result=merged,
                     timeline=timelines[qi],
                     per_region_records=per_request_records[qi],
                     per_region_results=per_request_results[qi],
-                    regions_pruned=total_regions - len(per_request_regions[qi]),
+                    regions_pruned=regions_pruned,
                     counters=per_request_counters[qi],
                 )
             )
         return results
+
+    def _attribute_fanout(
+        self,
+        region_spans: Dict[int, Any],
+        region_records: Dict[int, int],
+        parent_span: Optional[Any],
+        timeline: Any,
+        regions_pruned: int,
+    ) -> None:
+        """Per-region cost + straggler tags for one traced fan-out.
+
+        Each region span gains ``sim_cost_ms`` (its invocation's cost
+        under the calibrated model); the fan-out parent is tagged with
+        the straggler region — the single invocation that dominated the
+        simulated fan-out — and the total/max region costs, which is the
+        p99 attribution an operator needs (one hot region explains a
+        slow query even when the mean region was cheap)."""
+        cm = self.simulation.cost_model
+        total_cost_ms = 0.0
+        straggler_region = None
+        straggler_cost_ms = 0.0
+        for region_id, records in region_records.items():
+            cost_ms = cm.coprocessor_cost_s(records) * 1e3
+            total_cost_ms += cost_ms
+            span = region_spans.get(region_id)
+            if span is not None:
+                span.tag("sim_cost_ms", cost_ms)
+            if straggler_region is None or cost_ms > straggler_cost_ms:
+                straggler_region = region_id
+                straggler_cost_ms = cost_ms
+        if parent_span is None:
+            return
+        parent_span.tag("regions_used", len(region_records))
+        parent_span.tag("regions_pruned", regions_pruned)
+        parent_span.tag("sim_region_cost_ms_total", total_cost_ms)
+        parent_span.tag("sim_latency_ms", timeline.latency_ms)
+        if straggler_region is not None:
+            parent_span.tag("straggler_region", straggler_region)
+            parent_span.tag("straggler_cost_ms", straggler_cost_ms)
+            parent_span.tag(
+                "straggler_node",
+                self.simulation.region_placement.get(straggler_region),
+            )
 
     # ------------------------------------------------------------ admin
 

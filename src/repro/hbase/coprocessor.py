@@ -23,6 +23,28 @@ from .filters import ScanFilter
 from .region import Region
 
 
+class _NoopStage:
+    """Stage-span stand-in when no tracer was propagated: accepts tags,
+    records nothing.  Keeps ``hbase`` free of a ``core`` import."""
+
+    __slots__ = ()
+
+    def tag(self, key: str, value: Any) -> "_NoopStage":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopStage":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_STAGE = _NoopStage()
+
+
 class CoprocessorContext:
     """Region-local view handed to a coprocessor endpoint.
 
@@ -30,17 +52,39 @@ class CoprocessorContext:
     simulation can charge the invocation's cost precisely.
     """
 
-    def __init__(self, region: Region) -> None:
+    def __init__(
+        self,
+        region: Region,
+        tracer: Optional[Any] = None,
+        span: Optional[Any] = None,
+    ) -> None:
         self._region = region
         self.records_scanned = 0
         #: Free-form endpoint counters (e.g. ``cells_decoded``); the
         #: client sums them across regions into the call result so a
         #: query's work profile is observable end to end.
         self.counters: Dict[str, int] = {}
+        #: Trace context propagated from the client (see
+        #: ``repro.core.tracing``): ``span`` is this invocation's
+        #: region-level span, and :meth:`trace` opens stage spans under
+        #: it.  Both default to the no-op path.
+        self._tracer = tracer
+        self.span = span
 
     def count(self, name: str, amount: int = 1) -> None:
         """Bump an endpoint-defined counter."""
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def trace(self, name: str, **tags: Any):
+        """Open a stage span under this invocation's region span.
+
+        Returns a context-manager span; with tracing disabled it is the
+        shared no-op span, so endpoints can instrument stages without
+        checking whether tracing is on.
+        """
+        if self._tracer is None:
+            return _NOOP_STAGE
+        return self._tracer.span(name, parent=self.span, **tags)
 
     @property
     def region_id(self) -> int:

@@ -62,6 +62,11 @@ class Region:
         #: column-family TTL, driven by explicit application time since
         #: the store has no wall clock).
         self._ttl_cutoff: Dict[str, int] = {}
+        #: Scans served since region creation.  Best-effort (bumped
+        #: without a lock; under concurrent queries an increment can be
+        #: lost) — it feeds hot-region attribution in trace tags, not
+        #: the cost model.
+        self.scans_served = 0
 
     # ----------------------------------------------------------- routing
 
@@ -355,6 +360,7 @@ class Region:
         order, after applying the filter — the same contract a region
         server gives its scanners.
         """
+        self.scans_served += 1
         if scan_filter is not None:
             f_start, f_stop = scan_filter.row_range()
             if f_start is not None and (start_row is None or f_start > start_row):

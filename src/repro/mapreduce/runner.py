@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import ParallelExecutor
 from ..errors import MapReduceError
 from .io import InputSplit, make_splits
 from .job import Counters, JobResult, MapReduceJob
+
+
+class _NoopPhase:
+    """Phase-span stand-in when no tracer is configured (keeps
+    ``mapreduce`` free of a ``core`` import)."""
+
+    __slots__ = ()
+
+    def tag(self, key: str, value: Any) -> "_NoopPhase":
+        return self
+
+    def __enter__(self) -> "_NoopPhase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_PHASE = _NoopPhase()
 
 
 class JobRunner:
@@ -16,13 +36,62 @@ class JobRunner:
     ``max_workers`` models the Hadoop cluster's task slots; the paper's
     batch tier shares machines with HBase, so platform code sizes it
     from the same :class:`~repro.config.ClusterConfig`.
+
+    ``tracer``/``metrics`` (both optional) give the batch tier the same
+    observability as the query tier: each run emits a ``mapreduce.job``
+    span with ``map``/``shuffle``/``reduce`` phase children, plus
+    per-job wall-time histograms labeled by job name.
     """
 
-    def __init__(self, max_workers: int = 8) -> None:
+    def __init__(
+        self,
+        max_workers: int = 8,
+        tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
         self._executor = ParallelExecutor(max_workers=max_workers)
+        self.tracer = tracer
+        self.metrics = metrics
 
     def run(self, job: MapReduceJob, records: Sequence[Any]) -> JobResult:
         """Execute one job over ``records`` and return its output."""
+        tracer = self.tracer
+        root = (
+            tracer.span("mapreduce.job", job=job.name, records=len(records))
+            if tracer is not None
+            else None
+        )
+        wall_start = time.perf_counter()
+        try:
+            result = self._run_phases(job, records, tracer, root)
+        finally:
+            if root is not None:
+                root.finish()
+        if self.metrics is not None:
+            wall_ms = (time.perf_counter() - wall_start) * 1e3
+            self.metrics.increment("mapreduce.jobs", labels={"job": job.name})
+            self.metrics.record_latency(
+                "mapreduce.job_wall", wall_ms, labels={"job": job.name}
+            )
+            self.metrics.set_gauge(
+                "mapreduce.last_output_pairs",
+                len(result.pairs),
+                labels={"job": job.name},
+            )
+        return result
+
+    def _run_phases(
+        self,
+        job: MapReduceJob,
+        records: Sequence[Any],
+        tracer: Optional[Any],
+        root: Optional[Any],
+    ) -> JobResult:
+        def phase(name: str, **tags):
+            if tracer is None:
+                return _NOOP_PHASE
+            return tracer.span(name, parent=root, **tags)
+
         splits = make_splits(records, job.num_mappers)
         counters = Counters()
         if not splits:
@@ -35,32 +104,38 @@ class JobRunner:
             )
 
         # ---- map phase (parallel over splits)
-        map_outputs = self._executor.map_ordered(
-            lambda split: self._run_map_task(job, split), splits
-        )
+        with phase("map", tasks=len(splits)):
+            map_outputs = self._executor.map_ordered(
+                lambda split: self._run_map_task(job, split), splits
+            )
 
         # ---- shuffle: group by reducer partition, then by key
-        partitions: List[Dict[Any, List[Any]]] = [
-            {} for _ in range(job.num_reducers)
-        ]
-        for task_pairs, task_counters in map_outputs:
-            counters.merge(task_counters)
-            for key, value in task_pairs:
-                idx = job.partitioner.partition(key, job.num_reducers)
-                partitions[idx].setdefault(key, []).append(value)
+        with phase("shuffle") as shuffle_span:
+            partitions: List[Dict[Any, List[Any]]] = [
+                {} for _ in range(job.num_reducers)
+            ]
+            shuffled = 0
+            for task_pairs, task_counters in map_outputs:
+                counters.merge(task_counters)
+                for key, value in task_pairs:
+                    idx = job.partitioner.partition(key, job.num_reducers)
+                    partitions[idx].setdefault(key, []).append(value)
+                    shuffled += 1
+            shuffle_span.tag("pairs", shuffled)
 
         # ---- reduce phase (parallel over non-empty partitions)
         busy = [(i, p) for i, p in enumerate(partitions) if p]
-        reduce_outputs = self._executor.map_ordered(
-            lambda item: self._run_reduce_task(job, item[1]), busy
-        )
+        with phase("reduce", tasks=len(busy)):
+            reduce_outputs = self._executor.map_ordered(
+                lambda item: self._run_reduce_task(job, item[1]), busy
+            )
 
-        pairs: List[Tuple[Any, Any]] = []
-        for task_pairs, task_counters in reduce_outputs:
-            counters.merge(task_counters)
-            pairs.extend(task_pairs)
-        # Deterministic output order regardless of scheduling.
-        pairs.sort(key=lambda kv: repr(kv[0]))
+            pairs: List[Tuple[Any, Any]] = []
+            for task_pairs, task_counters in reduce_outputs:
+                counters.merge(task_counters)
+                pairs.extend(task_pairs)
+            # Deterministic output order regardless of scheduling.
+            pairs.sort(key=lambda kv: repr(kv[0]))
 
         return JobResult(
             job_name=job.name,

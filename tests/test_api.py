@@ -198,7 +198,8 @@ class TestEndpoints:
         assert "register" in endpoints
         assert "admin_describe" in endpoints
         assert "explain" in endpoints
-        assert len(endpoints) == 13
+        assert "admin_traces" in endpoints
+        assert len(endpoints) == 14
 
     def test_explain_endpoint(self, api):
         rest, p = api
@@ -229,11 +230,18 @@ class TestEndpoints:
         assert out["data"]["pois"] == 1
         assert out["data"]["hbase"]["cluster"]["nodes"] == 4
 
-    def test_admin_metrics_without_sink(self, api):
-        rest, _p = api
+    def test_admin_metrics_auto_wired(self, api):
+        # The REST layer picks up the platform's own registry, so the
+        # snapshot shape is there from the first request.
+        rest, p = api
         out = rest.handle("admin_metrics", {})
         assert out["status"] == "ok"
-        assert out["data"] == {"counters": {}, "latencies": {}}
+        assert set(out["data"]) == {"counters", "gauges", "latencies"}
+        # The admin_metrics request itself was counted (labeled series).
+        again = rest.handle("admin_metrics", {})
+        assert (
+            again["data"]["counters"]['api.requests{endpoint=admin_metrics}'] >= 1
+        )
 
     def test_handle_json_roundtrip(self, api):
         import json
@@ -276,3 +284,82 @@ class TestEndpoints:
         rest.attach_metrics(metrics)
         out = rest.handle("admin_metrics", {})
         assert out["data"]["counters"]["requests"] == 7
+
+
+_PROM_LINE = (
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" -?[0-9.eE+-]+(nan|inf)?$"
+)
+
+
+class TestAdminObservability:
+    """The Prometheus-mode metrics endpoint and the traces endpoint."""
+
+    def _run_personalized(self, rest, p):
+        from repro.core.repositories.visits import VisitStruct
+
+        p.poi_repository  # platform fixture already has one POI
+        p.visits_repository.store(
+            VisitStruct(user_id=2, poi_id=1, timestamp=100, grade=0.8,
+                        poi_name="Taverna", lat=37.98, lon=23.73,
+                        keywords=("food",))
+        )
+        out = rest.handle("search", {"friend_ids": [2]})
+        assert out["status"] == "ok"
+        return out
+
+    def test_admin_metrics_prometheus_mode(self, api):
+        import re
+
+        rest, p = api
+        self._run_personalized(rest, p)
+        out = rest.handle("admin_metrics", {"format": "prometheus"})
+        assert out["status"] == "ok"
+        assert out["data"]["content_type"].startswith("text/plain")
+        body = out["data"]["body"]
+        assert body.endswith("\n")
+        names = set()
+        for line in body.splitlines():
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                assert len(parts) == 4 and parts[3] in (
+                    "counter", "gauge", "summary"
+                ), line
+                continue
+            assert re.match(_PROM_LINE, line), line
+            names.add(line.split("{")[0].split(" ")[0])
+        # The personalized-query series made it through sanitization.
+        assert "modissense_queries_personalized_total" in names
+        assert "modissense_query_personalized_ms" in names
+        assert "modissense_query_personalized_ms_count" in names
+
+    def test_admin_metrics_bad_format_rejected(self, api):
+        rest, _p = api
+        out = rest.handle("admin_metrics", {"format": "xml"})
+        assert out["status"] == "error"
+
+    def test_admin_traces_returns_span_tree(self, api):
+        rest, p = api
+        self._run_personalized(rest, p)
+        out = rest.handle("admin_traces", {"limit": 5})
+        assert out["status"] == "ok"
+        traces = out["data"]["traces"]
+        assert traces, "personalized query must produce a trace"
+        tree = traces[0]
+        assert tree["root"]["name"] == "query.personalized"
+        # Acceptance: >= 4 distinct stage names through admin_traces.
+        stages = set(tree["stages"])
+        assert {"route", "region.scan", "merge", "rank"} <= stages
+        assert tree["span_count"] >= 5
+        assert out["data"]["tracing"]["enabled"] is True
+
+    def test_admin_traces_slow_log(self, api):
+        rest, p = api
+        # Force every query into the slow log, then check it appears.
+        p.tracer.slow_threshold_ms = 0.0
+        self._run_personalized(rest, p)
+        out = rest.handle("admin_traces", {"slow": True})
+        assert out["status"] == "ok"
+        assert out["data"]["traces"]
+        assert out["data"]["traces"][0]["root"]["name"] == "query.personalized"

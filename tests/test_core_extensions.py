@@ -363,3 +363,191 @@ class TestMonitoring:
         assert snap["counters"]["regions.pruned"] == regions - 1
         # Delegation still works for untracked attributes.
         assert wrapped.pois is small_platform.poi_repository
+
+    def test_personalized_latency_labeled_by_fanout_width(
+        self, small_platform, small_pois
+    ):
+        from repro import SearchQuery
+        from repro.core.repositories.visits import VisitStruct
+
+        small_platform.load_pois(small_pois[:50])
+        small_platform.visits_repository.store(
+            VisitStruct(user_id=1, poi_id=1, timestamp=10, grade=0.9,
+                        poi_name="A", lat=37.0, lon=23.0)
+        )
+        result = small_platform.query_answering.search(
+            SearchQuery(friend_ids=(1,))
+        )
+        snap = small_platform.metrics.snapshot()
+        labeled = "query.personalized{regions=%d}" % result.regions_used
+        assert snap["latencies"][labeled]["count"] == 1
+        # The unlabeled series records the same traffic in aggregate.
+        assert snap["latencies"]["query.personalized"]["count"] == 1
+
+
+class TestPercentileNearestRank:
+    """Nearest-rank boundary behaviour on tiny sample sets (the seed's
+    ``round()`` indexing made ``percentile(50)`` of ``[1, 2, 3, 4]``
+    depend on banker's rounding)."""
+
+    @staticmethod
+    def build(values):
+        hist = LatencyHistogram()
+        for v in values:
+            hist.record(float(v))
+        return hist
+
+    def test_documented_example(self):
+        hist = self.build([1, 2, 3, 4])
+        # rank = ceil(0.5 * 4) = 2 -> second smallest.
+        assert hist.percentile(50) == 2.0
+        assert hist.percentile(95) == 4.0
+        assert hist.percentile(99) == 4.0
+        assert hist.percentile(100) == 4.0
+        # Low percentiles clamp at the smallest sample.
+        assert hist.percentile(1) == 1.0
+
+    def test_single_sample_returns_it_for_every_p(self):
+        hist = self.build([42.5])
+        for p in (1, 50, 95, 99, 100):
+            assert hist.percentile(p) == 42.5
+
+    def test_two_and_three_samples(self):
+        two = self.build([10, 20])
+        assert two.percentile(50) == 10.0  # rank ceil(1.0) = 1
+        assert two.percentile(51) == 20.0  # rank ceil(1.02) = 2
+        assert two.percentile(99) == 20.0
+        three = self.build([5, 6, 7])
+        assert three.percentile(50) == 6.0
+        assert three.percentile(95) == 7.0
+
+    def test_unordered_input_is_sorted(self):
+        hist = self.build([9, 1, 5, 3, 7])
+        assert hist.percentile(50) == 5.0
+        assert hist.percentile(20) == 1.0
+
+    def test_empty_histogram_is_zero(self):
+        assert LatencyHistogram().percentile(50) == 0.0
+
+
+class TestMetricsThreadSafety:
+    """The registry is hammered from executor threads on the Figure-3
+    concurrency path; lost updates showed up as drifting counters."""
+
+    def test_concurrent_increments_are_exact(self):
+        import threading
+
+        metrics = PlatformMetrics()
+        threads_n, per_thread = 8, 2000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(tid):
+            barrier.wait()  # maximize interleaving
+            for i in range(per_thread):
+                metrics.increment("queries.personalized")
+                metrics.increment("records.scanned", 3)
+                metrics.increment("by_thread", labels={"tid": tid})
+                metrics.record_latency("query.personalized", float(i % 50))
+                metrics.set_gauge("last_tid", tid)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = threads_n * per_thread
+        assert metrics.counter("queries.personalized") == total
+        assert metrics.counter("records.scanned") == 3 * total
+        for tid in range(threads_n):
+            assert metrics.counter("by_thread", labels={"tid": tid}) == per_thread
+        hist = metrics.histogram("query.personalized")
+        assert hist.count == total
+        expected_total = threads_n * sum(float(i % 50) for i in range(per_thread))
+        assert hist.total == pytest.approx(expected_total)
+        assert metrics.gauge("last_tid") in range(threads_n)
+
+    def test_concurrent_histogram_records_are_exact(self):
+        import threading
+
+        hist = LatencyHistogram(max_samples=100)
+        threads_n, per_thread = 6, 3000
+
+        def hammer():
+            for i in range(per_thread):
+                hist.record(float(i))
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == threads_n * per_thread
+        assert hist.max_value == float(per_thread - 1)
+        assert hist.total == pytest.approx(
+            threads_n * per_thread * (per_thread - 1) / 2.0
+        )
+        # The reservoir stayed within bounds and percentiles still work.
+        assert 0.0 <= hist.percentile(50) <= per_thread
+
+    def test_batch_executor_path_counts_exactly(self, small_platform, small_pois):
+        """End-to-end regression: ``search_personalized_batch`` fans out
+        across executor threads; counter totals must be exact."""
+        from repro import SearchQuery
+        from repro.core.repositories.visits import VisitStruct
+
+        small_platform.load_pois(small_pois[:50])
+        for uid in range(1, 9):
+            small_platform.visits_repository.store(
+                VisitStruct(user_id=uid, poi_id=1 + uid % 5, timestamp=10 + uid,
+                            grade=0.9, poi_name="A", lat=37.0, lon=23.0)
+            )
+        queries = [
+            SearchQuery(friend_ids=tuple(range(1, 9))) for _ in range(12)
+        ]
+        results = small_platform.query_answering.search_personalized_batch(
+            queries
+        )
+        snap = small_platform.metrics.snapshot()
+        assert snap["counters"]["queries.personalized"] == 12
+        assert snap["counters"]["records.scanned"] == sum(
+            r.records_scanned for r in results
+        )
+        assert snap["latencies"]["query.personalized"]["count"] == 12
+
+
+class TestPrometheusExposition:
+    def test_counter_gauge_summary_rendering(self):
+        metrics = PlatformMetrics()
+        metrics.increment("queries.personalized", 7)
+        metrics.increment("api.requests", 2, labels={"endpoint": "search"})
+        metrics.set_gauge("jobs.active", 3)
+        metrics.record_latency("query.personalized", 10.0)
+        metrics.record_latency("query.personalized", 20.0)
+        text = metrics.to_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE modissense_queries_personalized_total counter" in lines
+        assert "modissense_queries_personalized_total 7" in lines
+        assert (
+            'modissense_api_requests_total{endpoint="search"} 2' in lines
+        )
+        assert "modissense_jobs_active 3" in lines
+        assert "# TYPE modissense_query_personalized_ms summary" in lines
+        assert (
+            'modissense_query_personalized_ms{quantile="0.5"} 10' in lines
+        )
+        assert "modissense_query_personalized_ms_sum 30" in lines
+        assert "modissense_query_personalized_ms_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_label_escaping_and_name_sanitization(self):
+        metrics = PlatformMetrics()
+        metrics.increment("weird.name-1", labels={"q": 'say "hi"\nnow'})
+        text = metrics.to_prometheus()
+        assert 'modissense_weird_name_1_total{q="say \\"hi\\"\\nnow"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert PlatformMetrics().to_prometheus() == ""

@@ -134,7 +134,7 @@ class TestRoutedEqualsBroadcast:
                 call = cluster.coprocessor_exec(
                     qa.visits.table.name, qa._coprocessor, request
                 )
-                broadcast = qa._merge_partials(query, call)
+                broadcast = qa.merge_and_rank(query, call)
                 assert ranked(routed) == ranked(broadcast), query
                 assert call.regions_pruned == 0  # broadcast prunes nothing
         finally:
