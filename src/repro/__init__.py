@@ -17,8 +17,14 @@ Quickstart::
     ...
 """
 
-from .config import ClusterConfig, JobsConfig, PlatformConfig, SentimentConfig
-from .core import MoDisSENSE, ScoredPOI, SearchQuery, SearchResult
+from .config import (
+    ClusterConfig,
+    FaultsConfig,
+    JobsConfig,
+    PlatformConfig,
+    SentimentConfig,
+)
+from .core import FaultInjector, MoDisSENSE, ScoredPOI, SearchQuery, SearchResult
 from .core.api import RestApi
 from .core.modules.trending import TrendingQuery
 
@@ -33,6 +39,8 @@ __all__ = [
     "TrendingQuery",
     "PlatformConfig",
     "ClusterConfig",
+    "FaultsConfig",
+    "FaultInjector",
     "SentimentConfig",
     "JobsConfig",
     "__version__",

@@ -77,6 +77,10 @@ class Task:
     results_returned: int = 0
     #: Query this task belongs to (for concurrent-query accounting).
     query_id: int = 0
+    #: Extra simulated seconds this invocation spent on recovery work:
+    #: failed attempts, retry backoff, injected hangs, hedge hops.  Zero
+    #: on the clean path, so fault-free timelines are unchanged.
+    extra_cost_s: float = 0.0
 
 
 @dataclass
@@ -173,6 +177,12 @@ class ClusterSimulation:
     def live_node_count(self) -> int:
         return len(self.nodes) - len(self._failed_nodes)
 
+    def live_nodes(self) -> List[int]:
+        """Ids of nodes currently serving regions, ascending."""
+        return [
+            i for i in range(len(self.nodes)) if i not in self._failed_nodes
+        ]
+
     def node_for_region(self, region_id: int) -> Node:
         try:
             node_idx = self._region_to_node[region_id]
@@ -244,7 +254,7 @@ class ClusterSimulation:
         for qi, task in order:
             node = self.node_for_region(task.region_id)
             ready = submit_at[qi] + client_setup_s[qi] + cm.rpc_latency_s
-            duration = cm.coprocessor_cost_s(task.records_scanned)
+            duration = cm.coprocessor_cost_s(task.records_scanned) + task.extra_cost_s
             done = node.schedule(ready, duration) + cm.rpc_latency_s
             finish_by_query[qi] = max(finish_by_query.get(qi, 0.0), done)
             records_by_query[qi] = records_by_query.get(qi, 0) + task.records_scanned

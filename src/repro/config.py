@@ -9,6 +9,7 @@ same knobs in one validated place so experiments can sweep them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigError
 
@@ -164,6 +165,104 @@ class TracingConfig:
 
 
 @dataclass
+class FaultsConfig:
+    """Fault injection + fan-out resilience knobs.
+
+    Two halves live here on purpose.  The *injection* half (rates, hang
+    latency, lost-region fraction) only acts when ``enabled`` is True
+    and a :class:`~repro.core.faults.FaultInjector` is attached to the
+    cluster — with it off, query results are byte-identical to a build
+    without the fault layer.  The *resilience* half (retries, backoff,
+    deadline, hedging, circuit breaker) configures the query fan-out's
+    recovery machinery, which also protects against real coprocessor
+    exceptions, injector or not.
+    """
+
+    #: Arms the injector.  Off by default: the clean path never draws.
+    enabled: bool = False
+    #: Seed for every injection decision; decisions are derived from
+    #: ``(seed, fanout-epoch, region, attempt)`` so they are repeatable
+    #: regardless of thread-pool interleaving.
+    seed: int = 1337
+    #: Per-attempt probability a region invocation raises.
+    region_error_rate: float = 0.0
+    #: Per-attempt probability a region invocation straggles.
+    region_hang_rate: float = 0.0
+    #: Simulated added latency of one injected hang.
+    hang_ms: float = 400.0
+    #: Per-attempt probability a region returns a corrupt partial.
+    corrupt_rate: float = 0.0
+    #: Fraction of a failed node's regions whose data stays unavailable
+    #: until the node recovers (models losing the replica too).
+    lost_region_fraction: float = 0.0
+    #: Injected stale-location errors per moved region after a node
+    #: failure (the client's META cache pointing at the dead server).
+    stale_location_errors: int = 1
+
+    # ---- resilience knobs (honored with or without an injector) ----
+    #: Re-invocations of a failed region before hedging/degrading.
+    max_retries: int = 2
+    #: First retry's simulated backoff; grows by ``retry_backoff_multiplier``.
+    retry_backoff_ms: float = 2.0
+    retry_backoff_multiplier: float = 2.0
+    #: Upper bound of the deterministic jitter added to each backoff.
+    retry_jitter_ms: float = 1.0
+    #: Whole-query deadline from which each region's recovery budget is
+    #: derived; retries/hedges stop once a region's accumulated extra
+    #: (simulated) spend crosses it.  The first attempt always runs, so
+    #: zero-fault queries are never cut short.  ``None`` disables it.
+    query_deadline_ms: Optional[float] = 2000.0
+    #: When True, a fan-out whose simulated latency exceeds the deadline
+    #: raises :class:`~repro.errors.QueryDeadlineExceeded` instead of
+    #: degrading gracefully.
+    strict_deadline: bool = False
+    #: Re-execute a failed/straggling region once against a surviving
+    #: node before declaring it missing.
+    hedge_enabled: bool = True
+    #: Consecutive failures that open a node's circuit breaker.
+    breaker_threshold: int = 3
+    #: Fan-outs a breaker stays open before admitting a probe request.
+    breaker_cooldown_fanouts: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("region_error_rate", "region_hang_rate", "corrupt_rate",
+                     "lost_region_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError("%s must be in [0, 1], got %r" % (name, value))
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.retry_backoff_ms < 0 or self.retry_jitter_ms < 0:
+            raise ConfigError("backoff/jitter cannot be negative")
+        if self.retry_backoff_multiplier < 1.0:
+            raise ConfigError("retry_backoff_multiplier must be >= 1")
+        if self.hang_ms < 0:
+            raise ConfigError("hang_ms cannot be negative")
+        if self.query_deadline_ms is not None and self.query_deadline_ms <= 0:
+            raise ConfigError("query_deadline_ms must be positive or None")
+        if self.breaker_threshold < 1:
+            raise ConfigError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_fanouts < 1:
+            raise ConfigError("breaker_cooldown_fanouts must be >= 1")
+        if self.stale_location_errors < 0:
+            raise ConfigError("stale_location_errors cannot be negative")
+
+    @classmethod
+    def chaos(cls, seed: int = 1337, **overrides) -> "FaultsConfig":
+        """An armed injector with moderate default rates — the starting
+        point for chaos tests and the ``chaos-smoke`` CI job."""
+        defaults = dict(
+            enabled=True,
+            seed=seed,
+            region_error_rate=0.1,
+            region_hang_rate=0.05,
+            lost_region_fraction=0.25,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
 class PlatformConfig:
     """Top-level configuration for a MoDisSENSE deployment."""
 
@@ -171,6 +270,7 @@ class PlatformConfig:
     sentiment: SentimentConfig = field(default_factory=SentimentConfig)
     jobs: JobsConfig = field(default_factory=JobsConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
+    faults: FaultsConfig = field(default_factory=FaultsConfig)
     #: Seed for all synthetic-data randomness; fixed for reproducibility.
     seed: int = 2015
 

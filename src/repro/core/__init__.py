@@ -14,7 +14,15 @@ This package is the paper's primary contribution — everything in Figure
 """
 
 from .platform import MoDisSENSE
+from .faults import FaultInjector
 from .modules.query_answering import SearchQuery, SearchResult, ScoredPOI
 from .tracing import Tracer
 
-__all__ = ["MoDisSENSE", "SearchQuery", "SearchResult", "ScoredPOI", "Tracer"]
+__all__ = [
+    "MoDisSENSE",
+    "FaultInjector",
+    "SearchQuery",
+    "SearchResult",
+    "ScoredPOI",
+    "Tracer",
+]

@@ -10,16 +10,26 @@ from ...errors import ValidationError
 
 @dataclass
 class ApiResponse:
-    """Uniform response envelope."""
+    """Uniform response envelope.
+
+    Errors carry a machine-readable ``code`` alongside the human
+    message; with a code set the envelope is the structured
+    ``{"error": {"code", "message"}}`` shape clients can switch on.
+    A codeless failure keeps the legacy string shape for callers that
+    construct envelopes directly.
+    """
 
     status: str  # "ok" | "error"
     data: Any = None
     error: Optional[str] = None
+    code: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"status": self.status}
         if self.status == "ok":
             out["data"] = self.data
+        elif self.code is not None:
+            out["error"] = {"code": self.code, "message": self.error}
         else:
             out["error"] = self.error
         return out
@@ -29,8 +39,8 @@ class ApiResponse:
         return cls(status="ok", data=data)
 
     @classmethod
-    def fail(cls, message: str) -> "ApiResponse":
-        return cls(status="error", error=message)
+    def fail(cls, message: str, code: Optional[str] = None) -> "ApiResponse":
+        return cls(status="error", error=message, code=code)
 
 
 #: endpoint -> {field: (type(s), required)}

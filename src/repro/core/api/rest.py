@@ -8,16 +8,49 @@ see stack traces.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Tuple, Type
 
 from ...datagen.gps import GPSPoint
-from ...errors import ReproError, ValidationError
+from ...errors import (
+    AuthenticationError,
+    ConfigError,
+    CoprocessorError,
+    QueryDeadlineExceeded,
+    QueryError,
+    RegionUnavailableError,
+    ReproError,
+    StorageError,
+    TableNotFoundError,
+    ValidationError,
+)
 from ...geo import BoundingBox
 from ..modules.query_answering import SearchQuery
 from ..modules.trending import TrendingQuery
 from ..platform import MoDisSENSE
 from ..repositories.blogs import BlogEntry
 from .json_format import ApiResponse, validate_request
+
+#: Exception -> error code, most specific class first (the first
+#: ``isinstance`` match wins, so subclasses must precede their bases).
+ERROR_CODES: Tuple[Tuple[Type[ReproError], str], ...] = (
+    (ValidationError, "bad_request"),
+    (AuthenticationError, "auth_failed"),
+    (QueryDeadlineExceeded, "deadline_exceeded"),
+    (RegionUnavailableError, "region_unavailable"),
+    (QueryError, "bad_query"),
+    (TableNotFoundError, "not_found"),
+    (CoprocessorError, "coprocessor"),
+    (ConfigError, "config"),
+    (StorageError, "storage"),
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable machine-readable code for a platform exception."""
+    for exc_type, code in ERROR_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return "internal"
 
 
 class RestApi:
@@ -52,7 +85,9 @@ class RestApi:
         try:
             handler = self._routes.get(endpoint)
             if handler is None:
-                return ApiResponse.fail("unknown endpoint %r" % endpoint).as_dict()
+                return ApiResponse.fail(
+                    "unknown endpoint %r" % endpoint, code="unknown_endpoint"
+                ).as_dict()
             validate_request(endpoint, request)
             if self._metrics is not None:
                 self._metrics.increment(
@@ -60,11 +95,16 @@ class RestApi:
                 )
             return ApiResponse.ok(handler(request)).as_dict()
         except ReproError as exc:
+            code = error_code(exc)
             if self._metrics is not None:
                 self._metrics.increment(
                     "api.errors", labels={"endpoint": endpoint}
                 )
-            return ApiResponse.fail(str(exc)).as_dict()
+                self._metrics.increment(
+                    "api.errors_by_code",
+                    labels={"endpoint": endpoint, "code": code},
+                )
+            return ApiResponse.fail(str(exc), code=code).as_dict()
 
     def handle_json(self, endpoint: str, body: str) -> str:
         """Wire-format variant: JSON string in, JSON string out.
@@ -78,11 +118,15 @@ class RestApi:
             request = json.loads(body) if body.strip() else {}
         except json.JSONDecodeError as exc:
             return json.dumps(
-                ApiResponse.fail("malformed JSON: %s" % exc).as_dict()
+                ApiResponse.fail(
+                    "malformed JSON: %s" % exc, code="bad_request"
+                ).as_dict()
             )
         if not isinstance(request, dict):
             return json.dumps(
-                ApiResponse.fail("request body must be a JSON object").as_dict()
+                ApiResponse.fail(
+                    "request body must be a JSON object", code="bad_request"
+                ).as_dict()
             )
         return json.dumps(self.handle(endpoint, request))
 
@@ -128,6 +172,11 @@ class RestApi:
         return {
             "personalized": result.personalized,
             "latency_ms": result.latency_ms,
+            # Partial-result disclosure: clients must be able to tell an
+            # exact answer from one missing failed regions' visits.
+            "degraded": result.degraded,
+            "coverage": result.coverage,
+            "missing_regions": list(result.missing_regions),
             "pois": [
                 {
                     "poi_id": p.poi_id,

@@ -10,10 +10,11 @@ into the final answer — exactly the mechanism behind Figures 2 and 3.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ...errors import QueryError
+from ...errors import DegradedResultWarning, QueryError
 from ...geo import BoundingBox
 from ...hbase import Coprocessor, CoprocessorContext
 from ..repositories.poi import POIRepository
@@ -87,6 +88,13 @@ class SearchResult:
     #: Visit payloads fully JSON-decoded region-side; lazy decoding keeps
     #: this far below ``records_scanned`` (one parse per POI per region).
     cells_decoded: int = 0
+    #: True when one or more regions never answered (within the fan-out's
+    #: retry/hedge budget) and the ranking ran on the surviving partials.
+    degraded: bool = False
+    #: Region ids whose visits are missing from ``pois``.
+    missing_regions: Tuple = ()
+    #: Fraction of invoked regions that contributed (1.0 when exact).
+    coverage: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -218,6 +226,17 @@ class VisitScanCoprocessor(Coprocessor):
     # merge() default (list concatenation) is right: the web-server tier
     # does the cross-region aggregation in QueryAnsweringModule.
 
+    def validate_partial(self, partial) -> bool:
+        """Region partials are lists of 6-tuples
+        ``(poi_id, grade_sum, count, name, lat, lon)``; anything else —
+        including the injector's corruption marker — is rejected and the
+        invocation goes through retry/hedge like a raised error."""
+        if not super().validate_partial(partial):
+            return False
+        return isinstance(partial, list) and all(
+            isinstance(item, tuple) and len(item) == 6 for item in partial
+        )
+
 
 class QueryAnsweringModule:
     """Routes queries to the SQL path or the coprocessor path.
@@ -310,6 +329,18 @@ class QueryAnsweringModule:
             root.tag("records_scanned", call.records_scanned)
             root.tag("regions_used", len(call.per_region_records))
             root.tag("regions_pruned", call.regions_pruned)
+            if call.degraded:
+                root.tag("degraded", True)
+                root.tag("missing_regions", list(call.missing_regions))
+                root.tag("coverage", call.coverage)
+                warnings.warn(
+                    DegradedResultWarning(
+                        "personalized query answered from partial results:"
+                        " %d region(s) missing, coverage %.2f"
+                        % (len(call.missing_regions), call.coverage)
+                    ),
+                    stacklevel=2,
+                )
             root.finish()
             results.append(result)
         return results
@@ -377,6 +408,11 @@ class QueryAnsweringModule:
                 max(records) / (sum(records) / len(records))
                 if records and sum(records) else 0.0
             ),
+            "degraded": call.degraded,
+            "missing_regions": list(call.missing_regions),
+            "coverage": call.coverage,
+            "retries": call.retries,
+            "hedges": call.hedges,
         }
 
     # ---------------------------------------------------------- internals
@@ -427,6 +463,9 @@ class QueryAnsweringModule:
             regions_used=len(call.per_region_records),
             regions_pruned=call.regions_pruned,
             cells_decoded=call.counters.get("cells_decoded", 0),
+            degraded=call.degraded,
+            missing_regions=tuple(call.missing_regions),
+            coverage=call.coverage,
         )
 
     def _search_sql(self, query: SearchQuery) -> SearchResult:

@@ -332,6 +332,13 @@ class InstrumentedQueryAnswering:
         self.metrics.increment("cells.decoded", result.cells_decoded)
         self.metrics.increment("regions.pruned", result.regions_pruned)
         self.metrics.increment("regions.used", result.regions_used)
+        if result.degraded:
+            # Partial answers are still answers, but an operator must be
+            # able to alert on how often coverage dropped below 1.0.
+            self.metrics.increment("queries.degraded")
+            self.metrics.increment(
+                "regions.missing", len(result.missing_regions)
+            )
 
     def search_personalized_client_side(self, query):
         return self._inner.search_personalized_client_side(query)

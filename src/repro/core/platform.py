@@ -30,6 +30,7 @@ from .modules.query_answering import (
     SearchQuery,
     SearchResult,
 )
+from .faults import FaultInjector
 from .monitoring import InstrumentedQueryAnswering, PlatformMetrics
 from .tracing import Tracer
 from .modules.text_processing import TextProcessingModule
@@ -72,7 +73,16 @@ class MoDisSENSE:
         self.tracer = Tracer.from_config(self.config.tracing)
 
         # ---- storage tier
-        self.hbase = HBaseCluster(self.config.cluster)
+        self.hbase = HBaseCluster(
+            self.config.cluster, faults_config=self.config.faults
+        )
+        self.hbase.attach_metrics(self.metrics)
+        #: Armed only when ``config.faults.enabled``; the clean path has
+        #: no injector attached at all (guaranteed byte-identical).
+        self.fault_injector: Optional[FaultInjector] = None
+        if self.config.faults.enabled:
+            self.fault_injector = FaultInjector(self.config.faults)
+            self.hbase.attach_fault_injector(self.fault_injector)
         self.sql = SqlEngine()
         regions = self.config.cluster.regions_per_table
         self.poi_repository = POIRepository(self.sql)

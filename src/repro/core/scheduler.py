@@ -32,6 +32,11 @@ class ScheduledJob:
     enabled: bool = True
     fire_count: int = 0
     last_result: Any = None
+    #: Firings whose callback raised; the job keeps its schedule.
+    failure_count: int = 0
+    #: ``"ExcType: message"`` of the most recent failure, None after a
+    #: successful firing.
+    last_error: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.period_s <= 0:
@@ -119,12 +124,27 @@ class PeriodicScheduler:
             )
             fire_time = job.next_fire_at
             self.now = fire_time
-            with self.tracer.span(
+            span = self.tracer.span(
                 "scheduler.job", job=job.name, fire_at=fire_time
-            ):
-                wall_start = time.perf_counter()
+            )
+            wall_start = time.perf_counter()
+            try:
+                # One job's crash must not starve its later periods or
+                # the other jobs: record the failure and keep firing.
                 job.last_result = job.callback(fire_time)
+                job.last_error = None
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                job.last_result = None
+                job.failure_count += 1
+                job.last_error = "%s: %s" % (type(exc).__name__, exc)
+                span.tag("error", type(exc).__name__)
+                if self.metrics is not None:
+                    self.metrics.increment(
+                        "scheduler.job_failures", labels={"job": job.name}
+                    )
+            finally:
                 wall_ms = (time.perf_counter() - wall_start) * 1e3
+                span.finish()
             if self.metrics is not None:
                 self.metrics.increment(
                     "scheduler.fired", labels={"job": job.name}

@@ -350,6 +350,9 @@ def _assemble_tree(spans: List[Span]) -> Dict[str, Any]:
         "duration_ms": root["duration_ms"],
         "span_count": len(spans),
         "stages": sorted({span.name for span in spans}),
+        # Surfaced at the top level so trace consumers can filter
+        # partial-result queries without walking the tree.
+        "degraded": bool(root["tags"].get("degraded", False)),
     }
 
 

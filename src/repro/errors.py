@@ -61,6 +61,24 @@ class CoprocessorError(ReproError):
     """A region coprocessor raised during region-local execution."""
 
 
+class RegionUnavailableError(StorageError):
+    """A region could not serve a request (server down, data unavailable,
+    or an injected fault).  The resilient fan-out retries/hedges these;
+    callers only see one when every recovery avenue is exhausted."""
+
+
+class QueryDeadlineExceeded(QueryError):
+    """A query's whole-query deadline budget was exhausted before every
+    region answered (raised only in strict-deadline mode; the default is
+    graceful degradation to the surviving partial results)."""
+
+
+class DegradedResultWarning(UserWarning):
+    """A query completed from partial results: one or more regions never
+    answered within the retry/hedge budget.  Carries no data — inspect
+    ``SearchResult.missing_regions`` / ``coverage`` for the specifics."""
+
+
 class MapReduceError(ReproError):
     """A MapReduce job failed."""
 

@@ -41,7 +41,7 @@ from .filters import (
 from .region import Region
 from .wal import WriteAheadLog, WALRecord
 from .table import HTable, TableDescriptor
-from .coprocessor import Coprocessor, CoprocessorContext
+from .coprocessor import Coprocessor, CoprocessorContext, CorruptPartial
 from .client import HBaseCluster, CoprocessorCallResult
 
 __all__ = [
@@ -69,6 +69,7 @@ __all__ = [
     "TableDescriptor",
     "Coprocessor",
     "CoprocessorContext",
+    "CorruptPartial",
     "HBaseCluster",
     "CoprocessorCallResult",
 ]

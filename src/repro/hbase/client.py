@@ -4,19 +4,44 @@ Owns every table, places regions on simulated nodes, and executes
 coprocessor calls: the *work* runs for real on a thread pool (one task
 per region, as HBase does), while the *latency* is produced by the
 cluster simulation's scheduler and cost model.
+
+The fan-out is **resilient**: a region invocation that raises (a real
+coprocessor bug or an injected fault) is retried with exponential
+backoff + deterministic jitter, hedged once against a surviving node,
+and — only when every avenue is exhausted — dropped, with the query
+completing from the surviving partials (``degraded=True``, the missing
+region list and a coverage fraction on the call result).  A per-node
+circuit breaker short-circuits requests to repeatedly failing nodes.
+With no faults the recovery machinery never engages and results,
+timelines and traces are byte-identical to the non-resilient path.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..cluster import ClusterSimulation, ParallelExecutor, QueryTimeline, Task
-from ..config import ClusterConfig
-from ..errors import TableExistsError, TableNotFoundError
+from ..config import ClusterConfig, FaultsConfig
+from ..errors import (
+    CoprocessorError,
+    QueryDeadlineExceeded,
+    RegionUnavailableError,
+    TableExistsError,
+    TableNotFoundError,
+)
 from .coprocessor import Coprocessor, CoprocessorContext
 from .region import Region
 from .table import HTable, TableDescriptor
+
+#: Fault-kind strings shared with :mod:`repro.core.faults` (duplicated
+#: as literals so ``hbase`` never imports ``core``).
+_FAULT_ERROR = "error"
+_FAULT_HANG = "hang"
+_FAULT_CORRUPT = "corrupt"
+#: Attempt index hedged re-executions present to the fault injector.
+_HEDGE_ATTEMPT = -1
 
 
 @dataclass
@@ -35,6 +60,17 @@ class CoprocessorCallResult:
     #: Endpoint-reported counters, summed across invoked regions
     #: (e.g. ``cells_decoded`` from the lazy visit-decode path).
     counters: Dict[str, int] = field(default_factory=dict)
+    #: True when one or more invoked regions never answered within the
+    #: retry/hedge budget and the merge ran on the surviving partials.
+    degraded: bool = False
+    #: Region ids whose partials are missing from ``result``.
+    missing_regions: List[int] = field(default_factory=list)
+    #: Fraction of invoked regions that contributed a partial (1.0 on
+    #: the clean path; 0 < coverage < 1 on a degraded result).
+    coverage: float = 1.0
+    #: Recovery work this call performed (0 on the clean path).
+    retries: int = 0
+    hedges: int = 0
 
     @property
     def latency_ms(self) -> float:
@@ -46,6 +82,48 @@ class CoprocessorCallResult:
         return self.timeline.records_scanned
 
 
+class _RegionOutcome:
+    """One region invocation's fate after retries/hedging."""
+
+    __slots__ = (
+        "region_id",
+        "ok",
+        "partial",
+        "records",
+        "counters",
+        "span",
+        "retries",
+        "hedged",
+        "extra_cost_s",
+        "reason",
+        "error",
+    )
+
+    def __init__(self, region_id: int) -> None:
+        self.region_id = region_id
+        self.ok = False
+        self.partial = None
+        self.records = 0
+        self.counters: Dict[str, int] = {}
+        self.span = None
+        self.retries = 0
+        self.hedged = False
+        self.extra_cost_s = 0.0
+        self.reason: Optional[str] = None
+        self.error: Optional[BaseException] = None
+
+
+class _BreakerState:
+    """Per-node circuit-breaker bookkeeping."""
+
+    __slots__ = ("failures", "open_until")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        #: Fan-out epoch at which a probe request is admitted; -1 closed.
+        self.open_until = -1
+
+
 class HBaseCluster:
     """The facade the platform's repositories talk to.
 
@@ -54,13 +132,50 @@ class HBaseCluster:
     config:
         Cluster shape and cost model; defaults to the paper's 16-node
         setup.
+    faults_config:
+        Retry/hedge/breaker/deadline knobs for the resilient fan-out
+        (and injection rates, consumed by an attached injector);
+        defaults to :class:`~repro.config.FaultsConfig` — injection off,
+        recovery armed.
     """
 
-    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        faults_config: Optional[FaultsConfig] = None,
+    ) -> None:
         self.config = config or ClusterConfig()
+        self.faults_config = faults_config or FaultsConfig()
         self.simulation = ClusterSimulation(self.config)
         self._executor = ParallelExecutor(max_workers=self.config.total_cores)
         self._tables: Dict[str, HTable] = {}
+        #: Fault injector (see :class:`repro.core.faults.FaultInjector`);
+        #: None (the default) keeps the clean path injection-free.
+        self.fault_injector: Optional[Any] = None
+        #: Optional metrics sink (duck-typed ``PlatformMetrics``).
+        self._metrics: Optional[Any] = None
+        self._fanout_lock = threading.Lock()
+        self._fanout_epoch = 0
+        self._breaker_lock = threading.Lock()
+        self._breakers: Dict[int, _BreakerState] = {}
+
+    # ------------------------------------------------------ observability
+
+    def attach_metrics(self, metrics: Any) -> None:
+        """Report fan-out resilience counters (retries, hedges, missing
+        regions, breaker trips) into ``metrics``."""
+        self._metrics = metrics
+
+    def attach_fault_injector(self, injector: Any) -> None:
+        """Arm a :class:`repro.core.faults.FaultInjector` on the query
+        fan-out.  Detach by passing None."""
+        self.fault_injector = injector
+
+    def _count(
+        self, name: str, amount: int = 1, labels: Optional[Mapping] = None
+    ) -> None:
+        if self._metrics is not None:
+            self._metrics.increment(name, amount, labels=labels)
 
     # -------------------------------------------------------------- DDL
 
@@ -197,16 +312,33 @@ class HBaseCluster:
         trace_parents: Optional[Sequence[Any]] = None,
     ) -> List[CoprocessorCallResult]:
         """Shared fan-out engine: run ``(region, request)`` pairs per
-        query on the thread pool, account the simulated timeline, merge."""
+        query on the thread pool with retries/hedging, account the
+        simulated timeline, merge whatever survived."""
+        fcfg = self.faults_config
+        injector = self.fault_injector
+        active = injector is not None and getattr(injector, "enabled", False)
+        if active:
+            # Applies any due node fail/recover schedule entries, so the
+            # placement snapshot below sees the post-event cluster.
+            injector.on_fanout_start(self)
+        with self._fanout_lock:
+            self._fanout_epoch += 1
+            epoch = self._fanout_epoch
+
         total_regions = len(table.regions)
         traced = tracer is not None and getattr(tracer, "enabled", False)
-        placement = self.simulation.region_placement if traced else {}
+        placement = self.simulation.region_placement
+        cm = self.simulation.cost_model
+        deadline_ms = fcfg.query_deadline_ms
+
         per_request_partials: List[List[Any]] = []
         per_request_tasks: List[List[Task]] = []
         per_request_records: List[Dict[int, int]] = []
         per_request_results: List[Dict[int, int]] = []
         per_request_counters: List[Dict[str, int]] = []
         per_request_spans: List[Dict[int, Any]] = []
+        per_request_missing: List[List[int]] = []
+        per_request_recovery: List[Dict[str, int]] = []
 
         for qi, region_requests in enumerate(per_request_regions):
             parent_span = (
@@ -217,64 +349,161 @@ class HBaseCluster:
 
             def run_one(pair):
                 region, request = pair
-                if traced:
-                    span = tracer.span(
-                        "region.scan",
-                        parent=parent_span,
-                        region_id=region.region_id,
-                        node=placement.get(region.region_id),
-                    )
-                    context = CoprocessorContext(region, tracer=tracer, span=span)
+                rid = region.region_id
+                node_id = placement.get(rid)
+                out = _RegionOutcome(rid)
+                backoff_ms = fcfg.retry_backoff_ms
+                attempt = 0
+                if active and not injector.region_available(rid):
+                    # The region's data died with its node: no retry or
+                    # hedge can answer, and the (healthy) serving node's
+                    # breaker must not be charged for it.
+                    out.reason = "region_lost"
+                    return out
+                if not self._breaker_allow(node_id, epoch):
+                    # Node known-bad: skip the primary, go straight to
+                    # the hedge against a healthier node.
+                    out.reason = "breaker_open"
                 else:
-                    span = None
-                    context = CoprocessorContext(region)
-                partial = coprocessor.run(context, request)
-                if span is not None:
-                    span.tag("records_scanned", context.records_scanned)
-                    span.tag("region_scans_served", region.scans_served)
-                    for name, value in context.counters.items():
-                        span.tag(name, value)
-                    span.finish()
-                return (
-                    region.region_id,
-                    context.records_scanned,
-                    partial,
-                    context.counters,
-                    span,
-                )
+                    while True:
+                        fault = (
+                            injector.decide(rid, node_id, attempt)
+                            if active
+                            else None
+                        )
+                        if fault is not None and fault.kind == _FAULT_HANG:
+                            # A straggler: charge the stall; abandon the
+                            # primary only once the region's recovery
+                            # budget (derived from the whole-query
+                            # deadline) is blown.
+                            out.extra_cost_s += fault.latency_ms / 1e3
+                            if (
+                                deadline_ms is not None
+                                and out.extra_cost_s * 1e3 >= deadline_ms
+                            ):
+                                out.reason = "deadline"
+                                break
+                            fault = None
+                        try:
+                            if fault is not None and fault.kind == _FAULT_ERROR:
+                                raise RegionUnavailableError(
+                                    "injected fault: region %d attempt %d"
+                                    % (rid, attempt)
+                                )
+                            out.partial = self._invoke_region(
+                                coprocessor,
+                                region,
+                                request,
+                                out,
+                                tracer if traced else None,
+                                parent_span,
+                                node_id,
+                                attempt=attempt,
+                                fault=fault,
+                            )
+                            out.ok = True
+                            self._breaker_record(node_id, True, epoch)
+                            return out
+                        except Exception as exc:  # noqa: BLE001 - resilience boundary
+                            out.error = exc
+                            self._breaker_record(node_id, False, epoch)
+                            attempt += 1
+                            if attempt > fcfg.max_retries:
+                                out.reason = type(exc).__name__
+                                break
+                            out.retries += 1
+                            jitter_ms = (
+                                injector.backoff_jitter_ms(rid, attempt)
+                                if active
+                                else 0.0
+                            )
+                            # A failed attempt costs the backoff plus a
+                            # fresh RPC + coprocessor setup; its scanned
+                            # records are charged via ``out.records``.
+                            out.extra_cost_s += (
+                                (backoff_ms + jitter_ms) / 1e3
+                                + cm.rpc_latency_s
+                                + cm.coprocessor_setup_s
+                            )
+                            backoff_ms *= fcfg.retry_backoff_multiplier
+                            if (
+                                deadline_ms is not None
+                                and out.extra_cost_s * 1e3 >= deadline_ms
+                            ):
+                                out.reason = "deadline"
+                                break
+
+                if fcfg.hedge_enabled and not out.ok:
+                    self._hedge_region(
+                        coprocessor,
+                        region,
+                        request,
+                        out,
+                        tracer if traced else None,
+                        parent_span,
+                        node_id,
+                        active,
+                    )
+                return out
 
             outcomes = self._executor.map_ordered(run_one, region_requests)
-            partials = []
-            tasks = []
+            partials: List[Any] = []
+            tasks: List[Task] = []
             records: Dict[int, int] = {}
             result_sizes: Dict[int, int] = {}
             counters: Dict[str, int] = {}
             spans: Dict[int, Any] = {}
-            for region_id, scanned, partial, region_counters, span in outcomes:
-                partials.append(partial)
-                records[region_id] = scanned
-                if span is not None:
-                    spans[region_id] = span
-                try:
-                    result_sizes[region_id] = len(partial)
-                except TypeError:
-                    result_sizes[region_id] = 1  # scalar partial result
-                for name, value in region_counters.items():
-                    counters[name] = counters.get(name, 0) + value
+            missing: List[int] = []
+            retries = 0
+            hedges = 0
+            breaker_skips = 0
+            for out in outcomes:
+                rid = out.region_id
+                records[rid] = out.records
+                retries += out.retries
+                if out.ok:
+                    partials.append(out.partial)
+                    if out.hedged:
+                        hedges += 1
+                    if out.span is not None:
+                        spans[rid] = out.span
+                    try:
+                        result_sizes[rid] = len(out.partial)
+                    except TypeError:
+                        result_sizes[rid] = 1  # scalar partial result
+                    for name, value in out.counters.items():
+                        counters[name] = counters.get(name, 0) + value
+                else:
+                    missing.append(rid)
+                    result_sizes[rid] = 0
+                    if out.reason == "breaker_open":
+                        breaker_skips += 1
                 tasks.append(
                     Task(
-                        region_id=region_id,
-                        records_scanned=scanned,
-                        results_returned=result_sizes[region_id],
+                        region_id=rid,
+                        records_scanned=out.records,
+                        results_returned=result_sizes[rid],
                         query_id=qi,
+                        extra_cost_s=out.extra_cost_s,
                     )
                 )
+            if retries:
+                self._count("fanout.retries", retries)
+            if hedges:
+                self._count("fanout.hedges", hedges)
+            if missing:
+                self._count("fanout.regions_missing", len(missing))
+                self._count("fanout.degraded_queries")
+            if breaker_skips:
+                self._count("fanout.breaker_skips", breaker_skips)
             per_request_partials.append(partials)
             per_request_tasks.append(tasks)
             per_request_records.append(records)
             per_request_results.append(result_sizes)
             per_request_counters.append(counters)
             per_request_spans.append(spans)
+            per_request_missing.append(sorted(missing))
+            per_request_recovery.append({"retries": retries, "hedges": hedges})
 
         timelines = self.simulation.run_queries(
             per_request_tasks, client_setup_s=client_setup_s
@@ -283,6 +512,12 @@ class HBaseCluster:
         for qi in range(len(per_request_regions)):
             merged = coprocessor.merge(per_request_partials[qi])
             regions_pruned = total_regions - len(per_request_regions[qi])
+            missing = per_request_missing[qi]
+            invoked = len(per_request_regions[qi])
+            coverage = (
+                1.0 if invoked == 0 else (invoked - len(missing)) / invoked
+            )
+            recovery = per_request_recovery[qi]
             if traced:
                 self._attribute_fanout(
                     per_request_spans[qi],
@@ -290,6 +525,18 @@ class HBaseCluster:
                     trace_parents[qi] if trace_parents is not None else None,
                     timelines[qi],
                     regions_pruned,
+                    missing_regions=missing,
+                    retries=recovery["retries"],
+                    hedges=recovery["hedges"],
+                )
+            if (
+                fcfg.strict_deadline
+                and deadline_ms is not None
+                and timelines[qi].latency_ms > deadline_ms
+            ):
+                raise QueryDeadlineExceeded(
+                    "query %d finished at %.1fms, over the %.1fms deadline"
+                    % (qi, timelines[qi].latency_ms, deadline_ms)
                 )
             results.append(
                 CoprocessorCallResult(
@@ -299,9 +546,186 @@ class HBaseCluster:
                     per_region_results=per_request_results[qi],
                     regions_pruned=regions_pruned,
                     counters=per_request_counters[qi],
+                    degraded=bool(missing),
+                    missing_regions=missing,
+                    coverage=coverage,
+                    retries=recovery["retries"],
+                    hedges=recovery["hedges"],
                 )
             )
         return results
+
+    def _invoke_region(
+        self,
+        coprocessor: Coprocessor,
+        region: Region,
+        request: Any,
+        out: _RegionOutcome,
+        tracer: Optional[Any],
+        parent_span: Optional[Any],
+        node_id: Optional[int],
+        attempt: int = 0,
+        fault: Optional[Any] = None,
+        hedged: bool = False,
+    ) -> Any:
+        """One region invocation with span bookkeeping.
+
+        The ``region.scan`` span is finished in a ``finally`` — an
+        endpoint that raises can no longer orphan its span — and failed
+        attempts are tagged ``error=<exception class>``.
+        """
+        span = None
+        if tracer is not None:
+            tags: Dict[str, Any] = {"region_id": region.region_id, "node": node_id}
+            if attempt:
+                tags["attempt"] = attempt
+            if hedged:
+                tags["hedged"] = True
+            span = tracer.span("region.scan", parent=parent_span, **tags)
+            context = CoprocessorContext(region, tracer=tracer, span=span)
+        else:
+            context = CoprocessorContext(region)
+        try:
+            partial = coprocessor.run(context, request)
+            if fault is not None and fault.kind == _FAULT_CORRUPT:
+                partial = self.fault_injector.corrupt(partial)
+            if (
+                self.fault_injector is not None
+                and getattr(self.fault_injector, "enabled", False)
+                and not coprocessor.validate_partial(partial)
+            ):
+                raise CoprocessorError(
+                    "corrupt partial from region %d" % region.region_id
+                )
+            out.span = span
+            out.counters = context.counters
+            return partial
+        except Exception as exc:
+            if span is not None:
+                span.tag("error", type(exc).__name__)
+            raise
+        finally:
+            out.records += context.records_scanned
+            if span is not None:
+                span.tag("records_scanned", context.records_scanned)
+                span.tag("region_scans_served", region.scans_served)
+                for name, value in context.counters.items():
+                    span.tag(name, value)
+                span.finish()
+
+    def _hedge_region(
+        self,
+        coprocessor: Coprocessor,
+        region: Region,
+        request: Any,
+        out: _RegionOutcome,
+        tracer: Optional[Any],
+        parent_span: Optional[Any],
+        primary_node: Optional[int],
+        active: bool,
+    ) -> None:
+        """Last-resort re-execution against the replica on a surviving
+        node.  Mutates ``out`` in place; a hedge that fails leaves the
+        region missing."""
+        injector = self.fault_injector
+        rid = region.region_id
+        if active and not injector.region_available(rid):
+            return  # the data itself is gone until the node recovers
+        hedge_node = self._hedge_target(primary_node)
+        if hedge_node is None:
+            return
+        fault = (
+            injector.decide(rid, hedge_node, _HEDGE_ATTEMPT) if active else None
+        )
+        if fault is not None and fault.kind == _FAULT_HANG:
+            out.extra_cost_s += fault.latency_ms / 1e3
+            fault = None  # a slow hedge still answers
+        if fault is not None and fault.kind == _FAULT_ERROR:
+            return
+        cm = self.simulation.cost_model
+        out.extra_cost_s += cm.rpc_latency_s + cm.coprocessor_setup_s
+        try:
+            out.partial = self._invoke_region(
+                coprocessor,
+                region,
+                request,
+                out,
+                tracer,
+                parent_span,
+                hedge_node,
+                fault=fault,
+                hedged=True,
+            )
+            out.ok = True
+            out.hedged = True
+            out.reason = None
+        except Exception as exc:  # noqa: BLE001 - resilience boundary
+            out.error = exc
+            out.reason = out.reason or type(exc).__name__
+
+    def _hedge_target(self, primary_node: Optional[int]) -> Optional[int]:
+        """The surviving node a hedge runs against (deterministic: the
+        lowest-numbered live node other than the primary)."""
+        live = self.simulation.live_nodes()
+        for candidate in live:
+            if candidate != primary_node:
+                return candidate
+        return live[0] if live else None
+
+    # -------------------------------------------------- circuit breaker
+
+    def _breaker_allow(self, node_id: Optional[int], epoch: int) -> bool:
+        if node_id is None:
+            return True
+        with self._breaker_lock:
+            state = self._breakers.get(node_id)
+            if state is None or state.open_until < 0:
+                return True
+            if epoch >= state.open_until:
+                # Half-open: admit a probe; one more failure re-opens.
+                state.open_until = -1
+                state.failures = self.faults_config.breaker_threshold - 1
+                return True
+            return False
+
+    def _breaker_record(
+        self, node_id: Optional[int], ok: bool, epoch: int
+    ) -> None:
+        if node_id is None:
+            return
+        opened = False
+        with self._breaker_lock:
+            state = self._breakers.setdefault(node_id, _BreakerState())
+            if ok:
+                state.failures = 0
+                state.open_until = -1
+            else:
+                state.failures += 1
+                if (
+                    state.failures >= self.faults_config.breaker_threshold
+                    and state.open_until < 0
+                ):
+                    state.open_until = (
+                        epoch + self.faults_config.breaker_cooldown_fanouts
+                    )
+                    opened = True
+        if opened:
+            self._count("fanout.breaker_opened", labels={"node": node_id})
+
+    def _breaker_reset(self, node_id: int) -> None:
+        with self._breaker_lock:
+            self._breakers.pop(node_id, None)
+
+    def breaker_states(self) -> Dict[int, Dict[str, int]]:
+        """Circuit-breaker snapshot for admin surfaces and tests."""
+        with self._breaker_lock:
+            return {
+                node_id: {
+                    "failures": state.failures,
+                    "open_until": state.open_until,
+                }
+                for node_id, state in sorted(self._breakers.items())
+            }
 
     def _attribute_fanout(
         self,
@@ -310,6 +734,9 @@ class HBaseCluster:
         parent_span: Optional[Any],
         timeline: Any,
         regions_pruned: int,
+        missing_regions: Optional[List[int]] = None,
+        retries: int = 0,
+        hedges: int = 0,
     ) -> None:
         """Per-region cost + straggler tags for one traced fan-out.
 
@@ -318,7 +745,11 @@ class HBaseCluster:
         the straggler region — the single invocation that dominated the
         simulated fan-out — and the total/max region costs, which is the
         p99 attribution an operator needs (one hot region explains a
-        slow query even when the mean region was cheap)."""
+        slow query even when the mean region was cheap).  Degraded
+        fan-outs additionally carry ``degraded``/``missing_regions``,
+        and any recovery work shows up as ``retries``/``hedges`` tags
+        (all omitted on the clean path, keeping zero-fault traces
+        unchanged)."""
         cm = self.simulation.cost_model
         total_cost_ms = 0.0
         straggler_region = None
@@ -338,6 +769,13 @@ class HBaseCluster:
         parent_span.tag("regions_pruned", regions_pruned)
         parent_span.tag("sim_region_cost_ms_total", total_cost_ms)
         parent_span.tag("sim_latency_ms", timeline.latency_ms)
+        if missing_regions:
+            parent_span.tag("degraded", True)
+            parent_span.tag("missing_regions", list(missing_regions))
+        if retries:
+            parent_span.tag("retries", retries)
+        if hedges:
+            parent_span.tag("hedges", hedges)
         if straggler_region is not None:
             parent_span.tag("straggler_region", straggler_region)
             parent_span.tag("straggler_cost_ms", straggler_cost_ms)
@@ -358,13 +796,24 @@ class HBaseCluster:
 
     def fail_node(self, node_id: int) -> List[int]:
         """Simulate a region-server death: the node's regions move to
-        the survivors and subsequent queries run at reduced capacity
-        (results stay exact — only latency degrades)."""
-        return self.simulation.fail_node(node_id)
+        the survivors and subsequent queries run at reduced capacity.
+
+        Without a fault injector, results stay exact (only latency
+        degrades).  With one attached, the injector is notified so it
+        can model stale region locations and lost replicas — the
+        degraded-result path."""
+        moved = self.simulation.fail_node(node_id)
+        self._breaker_reset(node_id)
+        if self.fault_injector is not None and moved:
+            self.fault_injector.on_node_failed(node_id, moved)
+        return moved
 
     def recover_node(self, node_id: int) -> None:
         """Bring a failed node back and rebalance regions onto it."""
         self.simulation.recover_node(node_id)
+        self._breaker_reset(node_id)
+        if self.fault_injector is not None:
+            self.fault_injector.on_node_recovered(node_id)
 
     def shutdown(self) -> None:
         """Release the fan-out thread pool.  Idempotent; the cluster
@@ -380,9 +829,12 @@ class HBaseCluster:
         self.shutdown()
 
     def describe(self) -> dict:
-        return {
+        out = {
             "tables": {
                 name: len(table.regions) for name, table in self._tables.items()
             },
             "cluster": self.simulation.describe(),
         }
+        if self.fault_injector is not None:
+            out["faults"] = self.fault_injector.describe()
+        return out

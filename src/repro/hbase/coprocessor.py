@@ -45,6 +45,22 @@ class _NoopStage:
 _NOOP_STAGE = _NoopStage()
 
 
+class CorruptPartial:
+    """Marker the fault injector substitutes for a region's partial
+    result to model a wire-corrupted response.  Any coprocessor's
+    :meth:`Coprocessor.validate_partial` rejects it, which routes the
+    invocation through the retry/hedge machinery like a raised error.
+    """
+
+    __slots__ = ("original",)
+
+    def __init__(self, original: Any = None) -> None:
+        self.original = original
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CorruptPartial(...)"
+
+
 class CoprocessorContext:
     """Region-local view handed to a coprocessor endpoint.
 
@@ -170,3 +186,14 @@ class Coprocessor:
             if partial:
                 merged.extend(partial)
         return merged
+
+    def validate_partial(self, partial: Any) -> bool:
+        """Sanity-check one region's partial before accepting it.
+
+        The resilient fan-out calls this only when a fault injector is
+        armed; an invalid partial is treated exactly like a raised
+        region error (retry, then hedge, then degrade).  The base check
+        rejects the injector's corruption marker; endpoints with a known
+        partial shape should also verify structure.
+        """
+        return not isinstance(partial, CorruptPartial)

@@ -61,6 +61,11 @@ class TestValidation:
         assert ok == {"status": "ok", "data": {"x": 1}}
         err = ApiResponse.fail("boom").as_dict()
         assert err == {"status": "error", "error": "boom"}
+        coded = ApiResponse.fail("boom", code="bad_request").as_dict()
+        assert coded == {
+            "status": "error",
+            "error": {"code": "bad_request", "message": "boom"},
+        }
 
 
 class TestEndpoints:
@@ -83,12 +88,14 @@ class TestEndpoints:
              "password": "bad", "now": 0.0},
         )
         assert out["status"] == "error"
-        assert "credentials" in out["error"]
+        assert out["error"]["code"] == "auth_failed"
+        assert "credentials" in out["error"]["message"]
 
     def test_unknown_endpoint_is_error_envelope(self, api):
         rest, _p = api
         out = rest.handle("teleport", {})
         assert out["status"] == "error"
+        assert out["error"]["code"] == "unknown_endpoint"
 
     def test_search_non_personalized(self, api):
         rest, _p = api
@@ -259,7 +266,8 @@ class TestEndpoints:
         rest, _p = api
         out = json.loads(rest.handle_json("search", "{not json"))
         assert out["status"] == "error"
-        assert "malformed" in out["error"]
+        assert out["error"]["code"] == "bad_request"
+        assert "malformed" in out["error"]["message"]
 
     def test_handle_json_non_object_body(self, api):
         import json

@@ -1,15 +1,60 @@
-"""Fault-tolerance tests: node failure, recovery, web-tier balancing."""
+"""Fault-tolerance tests: node failure, recovery, fault injection,
+resilient fan-out (retries/hedges/breaker), graceful degradation and
+web-tier balancing."""
+
+import threading
 
 import pytest
 
 from repro.cluster import ClusterSimulation, MergeWork, Task, WebServerFarm
-from repro.config import ClusterConfig
+from repro.config import ClusterConfig, FaultsConfig, PlatformConfig
+from repro.core.faults import FAULT_ERROR, FAULT_HANG, FaultInjector
 from repro.core.modules.query_answering import QueryAnsweringModule, SearchQuery
+from repro.core.monitoring import PlatformMetrics
 from repro.core.repositories.poi import POI, POIRepository
 from repro.core.repositories.visits import VisitsRepository, VisitStruct
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    DegradedResultWarning,
+    QueryDeadlineExceeded,
+)
 from repro.hbase import HBaseCluster
 from repro.sqlstore import SqlEngine
+
+
+def _result_fingerprint(result):
+    """Everything a caller can observe about a SearchResult."""
+    return (
+        [(p.poi_id, p.name, p.lat, p.lon, p.score, p.visit_count)
+         for p in result.pois],
+        result.personalized,
+        result.latency_ms,
+        result.records_scanned,
+        result.regions_used,
+        result.regions_pruned,
+        result.cells_decoded,
+        result.degraded,
+        result.missing_regions,
+        result.coverage,
+    )
+
+
+def _build_qa(num_nodes=4, regions=8, users=40):
+    """A small query stack over a real fan-out cluster."""
+    cluster = HBaseCluster(
+        ClusterConfig(num_nodes=num_nodes, regions_per_table=regions)
+    )
+    pois = POIRepository(SqlEngine())
+    pois.add(POI(poi_id=1, name="A", lat=37.98, lon=23.73,
+                 keywords=("x",), category="cafe"))
+    visits = VisitsRepository(cluster, num_regions=regions)
+    for uid in range(1, users):
+        visits.store(VisitStruct(user_id=uid, poi_id=1, timestamp=uid,
+                                 grade=0.5, poi_name="A",
+                                 lat=37.98, lon=23.73, keywords=("x",)))
+    qa = QueryAnsweringModule(pois, visits)
+    query = SearchQuery(friend_ids=tuple(range(1, users)), sort_by="hotness")
+    return cluster, qa, query
 
 
 class TestNodeFailure:
@@ -84,6 +129,416 @@ class TestQueryCorrectnessUnderFailure:
         assert after.pois[0].visit_count == 19
         assert after.latency_ms > before.latency_ms
         cluster.shutdown()
+
+
+class TestFaultInjectorDeterminism:
+    def _decision_trace(self, seed, epochs=6, regions=8, attempts=3):
+        injector = FaultInjector(FaultsConfig(
+            enabled=True, seed=seed,
+            region_error_rate=0.3, region_hang_rate=0.2, corrupt_rate=0.1,
+        ))
+        trace = []
+        for _ in range(epochs):
+            injector.on_fanout_start(None)
+            for region in range(regions):
+                for attempt in range(attempts):
+                    fault = injector.decide(region, region % 4, attempt)
+                    trace.append(None if fault is None else fault.kind)
+        return trace
+
+    def test_same_seed_same_decisions(self):
+        assert self._decision_trace(7) == self._decision_trace(7)
+
+    def test_different_seed_different_decisions(self):
+        assert self._decision_trace(7) != self._decision_trace(8)
+
+    def test_decisions_independent_of_call_order(self):
+        """Thread interleaving must not perturb outcomes: querying the
+        same (epoch, region, attempt) in any order gives the same fault."""
+        a = FaultInjector(FaultsConfig(enabled=True, seed=3,
+                                       region_error_rate=0.5))
+        b = FaultInjector(FaultsConfig(enabled=True, seed=3,
+                                       region_error_rate=0.5))
+        a.on_fanout_start(None)
+        b.on_fanout_start(None)
+        keys = [(r, 0) for r in range(16)]
+        forward = {k: a.decide(k[0], 0, k[1]) for k in keys}
+        backward = {k: b.decide(k[0], 0, k[1]) for k in reversed(keys)}
+        assert {k: v and v.kind for k, v in forward.items()} == \
+               {k: v and v.kind for k, v in backward.items()}
+
+    def test_break_region_is_one_shot(self):
+        injector = FaultInjector(FaultsConfig(enabled=True))
+        injector.break_region(5, times=2)
+        assert injector.decide(5, 0, 0).kind == FAULT_ERROR
+        assert injector.decide(5, 0, 1).kind == FAULT_ERROR
+        assert injector.decide(5, 0, 2) is None
+        assert injector.decide(6, 0, 0) is None
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        cfg = FaultsConfig(enabled=True, seed=11, retry_jitter_ms=2.0)
+        a, b = FaultInjector(cfg), FaultInjector(cfg)
+        for region in range(8):
+            ja = a.backoff_jitter_ms(region, 1)
+            assert ja == b.backoff_jitter_ms(region, 1)
+            assert 0.0 <= ja <= 2.0
+
+    def test_schedule_validation(self):
+        injector = FaultInjector(FaultsConfig(enabled=True))
+        with pytest.raises(ConfigError):
+            injector.schedule_node_event(1, "explode", 0)
+        injector.on_fanout_start(None)
+        with pytest.raises(ConfigError):
+            injector.schedule_node_event(1, "fail", 0)  # already past
+
+    def test_hang_fault_carries_latency(self):
+        injector = FaultInjector(FaultsConfig(
+            enabled=True, region_hang_rate=1.0, hang_ms=123.0))
+        injector.on_fanout_start(None)
+        fault = injector.decide(0, 0, 0)
+        assert fault.kind == FAULT_HANG and fault.latency_ms == 123.0
+
+
+class TestResilientFanout:
+    def test_zero_fault_results_byte_identical_interleaved(self):
+        """Armed-but-quiet injector must change *nothing* observable:
+        alternate injector-off / injector-on runs and compare everything
+        (answers, simulated latency, counters)."""
+        cluster, qa, query = _build_qa()
+        try:
+            injector = FaultInjector(FaultsConfig(enabled=True))
+            fingerprints = []
+            for round_no in range(3):
+                cluster.attach_fault_injector(None)
+                fingerprints.append(_result_fingerprint(qa.search(query)))
+                cluster.attach_fault_injector(injector)
+                fingerprints.append(_result_fingerprint(qa.search(query)))
+            assert all(fp == fingerprints[0] for fp in fingerprints)
+        finally:
+            cluster.shutdown()
+
+    def test_targeted_break_is_retried_transparently(self):
+        cluster, qa, query = _build_qa()
+        try:
+            clean = qa.search(query)
+            metrics = PlatformMetrics()
+            cluster.attach_metrics(metrics)
+            injector = FaultInjector(FaultsConfig(enabled=True))
+            cluster.attach_fault_injector(injector)
+            victim = next(iter(cluster.simulation.region_placement))
+            injector.break_region(victim, times=1)
+            result = qa.search(query)
+            assert not result.degraded
+            assert result.coverage == 1.0
+            assert [p.poi_id for p in result.pois] == \
+                   [p.poi_id for p in clean.pois]
+            assert result.pois[0].visit_count == clean.pois[0].visit_count
+            assert metrics.counter("fanout.retries") >= 1
+            # The retried region's recovery work shows up in latency.
+            assert result.latency_ms > clean.latency_ms
+        finally:
+            cluster.shutdown()
+
+    def test_retry_exhaustion_falls_back_to_hedge(self):
+        """Enough targeted errors to exhaust every primary attempt: the
+        hedge on another node answers and the result stays exact."""
+        cluster, qa, query = _build_qa()
+        try:
+            clean = qa.search(query)
+            metrics = PlatformMetrics()
+            cluster.attach_metrics(metrics)
+            cfg = FaultsConfig(enabled=True, max_retries=2)
+            injector = FaultInjector(cfg)
+            cluster.attach_fault_injector(injector)
+            victim = next(iter(cluster.simulation.region_placement))
+            injector.break_region(victim, times=cfg.max_retries + 1)
+            result = qa.search(query)
+            assert not result.degraded
+            assert [p.poi_id for p in result.pois] == \
+                   [p.poi_id for p in clean.pois]
+            assert metrics.counter("fanout.hedges") >= 1
+        finally:
+            cluster.shutdown()
+
+    def test_total_failure_degrades_gracefully(self):
+        cluster, qa, query = _build_qa()
+        try:
+            injector = FaultInjector(FaultsConfig(
+                enabled=True, region_error_rate=1.0,
+                max_retries=1, hedge_enabled=False,
+            ))
+            cluster.attach_fault_injector(injector)
+            with pytest.warns(DegradedResultWarning):
+                result = qa.search(query)
+            assert result.degraded
+            assert result.coverage == 0.0
+            assert result.pois == []
+            assert len(result.missing_regions) == result.regions_used
+        finally:
+            cluster.shutdown()
+
+    def test_corrupt_partials_are_rejected_and_degrade(self):
+        cluster, qa, query = _build_qa()
+        try:
+            injector = FaultInjector(FaultsConfig(
+                enabled=True, corrupt_rate=1.0,
+                max_retries=1, hedge_enabled=False,
+            ))
+            cluster.attach_fault_injector(injector)
+            with pytest.warns(DegradedResultWarning):
+                result = qa.search(query)
+            assert result.degraded and result.pois == []
+        finally:
+            cluster.shutdown()
+
+    def test_hangs_within_budget_still_answer_exactly(self):
+        cluster, qa, query = _build_qa()
+        try:
+            clean = qa.search(query)
+            injector = FaultInjector(FaultsConfig(
+                enabled=True, region_hang_rate=1.0, hang_ms=5.0,
+                query_deadline_ms=10_000.0,
+            ))
+            cluster.attach_fault_injector(injector)
+            result = qa.search(query)
+            assert not result.degraded
+            assert [p.poi_id for p in result.pois] == \
+                   [p.poi_id for p in clean.pois]
+            # Stragglers answered, but the stall is on the clock.
+            assert result.latency_ms > clean.latency_ms
+        finally:
+            cluster.shutdown()
+
+    def test_strict_deadline_raises(self):
+        cluster, qa, query = _build_qa()
+        try:
+            cluster.faults_config = FaultsConfig(
+                enabled=True, query_deadline_ms=0.001, strict_deadline=True,
+            )
+            with pytest.raises(QueryDeadlineExceeded):
+                qa.search(query)
+        finally:
+            cluster.shutdown()
+
+    def test_explain_reports_degradation(self):
+        cluster, qa, query = _build_qa()
+        try:
+            clean = qa.explain_personalized(query)
+            assert clean["degraded"] is False
+            assert clean["missing_regions"] == []
+            assert clean["coverage"] == 1.0
+            injector = FaultInjector(FaultsConfig(
+                enabled=True, region_error_rate=1.0,
+                max_retries=1, hedge_enabled=False,
+            ))
+            cluster.attach_fault_injector(injector)
+            degraded = qa.explain_personalized(query)
+            assert degraded["degraded"] is True
+            assert degraded["missing_regions"]
+            assert degraded["coverage"] == 0.0
+        finally:
+            cluster.shutdown()
+
+
+class TestDegradedNodeFailure:
+    def test_fail_recover_cycles_degrade_then_restore_exactly(self):
+        """The acceptance loop: fail a node (with lost replicas), see a
+        degraded-but-served answer, recover, see the exact answer again
+        — for three cycles, without leaking executor threads."""
+        cluster, qa, query = _build_qa()
+        try:
+            injector = FaultInjector(FaultsConfig(
+                enabled=True, lost_region_fraction=0.5,
+                stale_location_errors=0,
+            ))
+            cluster.attach_fault_injector(injector)
+            baseline_threads = threading.active_count()
+            clean = _result_fingerprint(qa.search(query))
+            for cycle in range(3):
+                cluster.fail_node(0)
+                lost = injector.lost_regions()
+                assert lost, "lost_region_fraction must sacrifice regions"
+                with pytest.warns(DegradedResultWarning):
+                    degraded = qa.search(query)
+                assert degraded.degraded
+                assert 0.0 < degraded.coverage < 1.0
+                assert set(degraded.missing_regions) <= set(lost)
+                cluster.recover_node(0)
+                assert injector.lost_regions() == []
+                restored = qa.search(query)
+                assert _result_fingerprint(restored) == clean, (
+                    "cycle %d: recovery must restore the exact answer"
+                    % cycle
+                )
+            # One shared pool throughout: the thread count stays bounded
+            # by its worker cap, however many fail/recover cycles ran.
+            assert (
+                threading.active_count()
+                <= baseline_threads + cluster.config.total_cores
+            )
+        finally:
+            cluster.shutdown()
+
+    def test_stale_location_errors_recover_via_retry(self):
+        """Node death without lost replicas: moved regions throw one
+        stale-location error each, the retry path absorbs them and the
+        answer stays exact."""
+        cluster, qa, query = _build_qa()
+        try:
+            clean = qa.search(query)
+            metrics = PlatformMetrics()
+            cluster.attach_metrics(metrics)
+            injector = FaultInjector(FaultsConfig(
+                enabled=True, stale_location_errors=1,
+                lost_region_fraction=0.0,
+            ))
+            cluster.attach_fault_injector(injector)
+            moved = cluster.fail_node(0)
+            assert moved
+            result = qa.search(query)
+            assert not result.degraded
+            assert [p.poi_id for p in result.pois] == \
+                   [p.poi_id for p in clean.pois]
+            assert metrics.counter("fanout.retries") >= len(moved)
+        finally:
+            cluster.shutdown()
+
+    def test_scheduled_node_events_fire_between_fanouts(self):
+        cluster, qa, query = _build_qa()
+        try:
+            injector = FaultInjector(FaultsConfig(
+                enabled=True, lost_region_fraction=0.0,
+                stale_location_errors=0,
+            ))
+            cluster.attach_fault_injector(injector)
+            injector.schedule_node_event(2, "fail", 1)
+            injector.schedule_node_event(3, "recover", 1)
+            qa.search(query)  # fan-out 1: nothing scheduled yet
+            assert cluster.simulation.live_node_count == 4
+            qa.search(query)  # fan-out 2: node 1 dies first
+            assert cluster.simulation.live_node_count == 3
+            qa.search(query)  # fan-out 3: node 1 comes back
+            assert cluster.simulation.live_node_count == 4
+            assert [(e[1], e[2]) for e in injector.events] == \
+                   [("fail", 1), ("recover", 1)]
+        finally:
+            cluster.shutdown()
+
+    def test_breaker_opens_on_repeated_node_errors(self):
+        cluster, qa, query = _build_qa(num_nodes=2, regions=8)
+        try:
+            metrics = PlatformMetrics()
+            cluster.attach_metrics(metrics)
+            injector = FaultInjector(FaultsConfig(
+                enabled=True, region_error_rate=1.0,
+                max_retries=2, breaker_threshold=3, hedge_enabled=False,
+            ))
+            cluster.attach_fault_injector(injector)
+            with pytest.warns(DegradedResultWarning):
+                qa.search(query)
+            states = cluster.breaker_states()
+            assert any(s["open_until"] >= 0 for s in states.values())
+            assert metrics.counter(
+                "fanout.breaker_opened", labels={"node": 0}
+            ) >= 1
+        finally:
+            cluster.shutdown()
+
+
+class TestDegradedRestApi:
+    def test_search_returns_200_envelope_with_degraded_flag(self):
+        from repro import MoDisSENSE, RestApi
+
+        # The platform owns several tables, and fail_node moves regions
+        # of all of them; lose every moved replica so the visits table is
+        # certainly hit.
+        config = PlatformConfig(
+            cluster=ClusterConfig(num_nodes=4, regions_per_table=8),
+            faults=FaultsConfig(
+                enabled=True, lost_region_fraction=1.0,
+                stale_location_errors=0,
+            ),
+        )
+        with MoDisSENSE(config) as platform:
+            for uid in range(1, 30):
+                platform.visits_repository.store(VisitStruct(
+                    user_id=uid, poi_id=1, timestamp=uid, grade=0.5,
+                    poi_name="A", lat=37.98, lon=23.73, keywords=("x",),
+                ))
+            rest = RestApi(platform)
+            request = {"friend_ids": list(range(1, 30)),
+                       "sort_by": "hotness"}
+
+            before = rest.handle("search", request)
+            assert before["status"] == "ok"
+            assert before["data"]["degraded"] is False
+            assert before["data"]["missing_regions"] == []
+            assert before["data"]["coverage"] == 1.0
+
+            platform.hbase.fail_node(0)
+            with pytest.warns(DegradedResultWarning):
+                after = rest.handle("search", request)
+            # Partial results are still a 200, flagged for the client.
+            assert after["status"] == "ok"
+            assert after["data"]["degraded"] is True
+            assert after["data"]["missing_regions"]
+            assert 0.0 < after["data"]["coverage"] < 1.0
+            assert platform.metrics.counter("queries.degraded") >= 1
+
+            platform.hbase.recover_node(0)
+            restored = rest.handle("search", request)
+            assert restored["data"] == before["data"]
+
+
+class TestSchedulerFailureIsolation:
+    def _scheduler(self, metrics=None):
+        from repro.core.scheduler import PeriodicScheduler
+
+        return PeriodicScheduler(metrics=metrics)
+
+    def test_failing_job_does_not_stop_others_or_itself(self):
+        metrics = PlatformMetrics()
+        scheduler = self._scheduler(metrics)
+        fired = []
+
+        def bad(now):
+            raise RuntimeError("boom at %s" % now)
+
+        scheduler.register("bad", 10.0, bad)
+        scheduler.register("good", 10.0, fired.append)
+        log = scheduler.advance_to(35.0)
+
+        # Both jobs fired every period despite the failures.
+        assert fired == [10.0, 20.0, 30.0]
+        assert [entry[1] for entry in log].count("bad") == 3
+        bad_job = scheduler.job("bad")
+        assert bad_job.fire_count == 3
+        assert bad_job.failure_count == 3
+        assert bad_job.last_error.startswith("RuntimeError")
+        assert bad_job.last_result is None
+        assert metrics.counter(
+            "scheduler.job_failures", labels={"job": "bad"}
+        ) == 3
+        assert metrics.counter(
+            "scheduler.fired", labels={"job": "bad"}
+        ) == 3
+
+    def test_job_recovers_after_transient_failure(self):
+        scheduler = self._scheduler()
+        calls = []
+
+        def flaky(now):
+            calls.append(now)
+            if len(calls) == 1:
+                raise ValueError("transient")
+            return now
+
+        scheduler.register("flaky", 5.0, flaky)
+        scheduler.advance_to(11.0)
+        job = scheduler.job("flaky")
+        assert job.failure_count == 1
+        assert job.last_error is None  # cleared by the success
+        assert job.last_result == 10.0
 
 
 class TestWebServerFarm:
