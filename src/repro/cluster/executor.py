@@ -8,6 +8,7 @@ results are computed, never fabricated.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
@@ -24,11 +25,15 @@ class ParallelExecutor:
     def __init__(self, max_workers: int = 8) -> None:
         self._max_workers = max(1, max_workers)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
-        return self._pool
+        # Locked: concurrent first callers (coalesced query herds hit
+        # this) must not each create a pool and leak the loser's threads.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+            return self._pool
 
     def map_ordered(self, fn: Callable, items: Sequence) -> List:
         """Apply ``fn`` to every item in parallel; results keep input order.

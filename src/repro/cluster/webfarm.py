@@ -76,8 +76,11 @@ class WebServerFarm:
 
     def _route(self) -> Node:
         if self.routing == ROUTE_ROUND_ROBIN:
-            server = self.servers[self._next_server % len(self.servers)]
-            self._next_server += 1
+            server = self.servers[self._next_server]
+            # Wrap in place: an unbounded cursor grows without limit on
+            # a long-lived balancer (and overflows in implementations
+            # with fixed-width counters).
+            self._next_server = (self._next_server + 1) % len(self.servers)
             return server
         return min(
             self.servers,

@@ -263,6 +263,52 @@ class FaultsConfig:
 
 
 @dataclass
+class CacheConfig:
+    """Knobs of the concurrent-query caching layer.
+
+    Caching is **off by default**: with ``enabled=False`` no cache object
+    is ever constructed and the query path is byte-identical to a build
+    without the cache layer.  With it on, answers are still guaranteed
+    byte-identical — the scan cache stamps every entry with the owning
+    region's data sequence id (any write/flush/compaction makes the
+    entry stale), and the hot-POI cache revalidates against the POI
+    repository's version plus an explicit HotIn epoch.
+
+    ``coalesce`` governs single-flight deduplication of identical
+    in-flight personalized queries.  It defaults on independently of
+    ``enabled`` because coalescing stores nothing: concurrent identical
+    callers simply share the one fan-out's result, so there is no
+    staleness to manage.
+    """
+
+    #: Master switch for the region scan cache + hot-POI score cache.
+    enabled: bool = False
+    #: Deduplicate identical in-flight personalized queries.
+    coalesce: bool = True
+    #: LRU capacity of the per-region friend-partition scan cache
+    #: (one entry per (region, friend, time-window)).
+    scan_cache_max_entries: int = 65536
+    #: Wall-clock TTL for scan-cache entries; ``None`` disables and
+    #: leaves invalidation purely seqid-driven.
+    scan_cache_ttl_s: Optional[float] = None
+    #: LRU capacity of the hot-POI (non-personalized) score cache.
+    hot_poi_max_entries: int = 256
+    #: Period of the scheduler's cache-maintenance sweep job, which
+    #: drops TTL-expired and seqid-stale entries (simulated seconds).
+    sweep_period_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.scan_cache_max_entries < 1:
+            raise ConfigError("scan_cache_max_entries must be >= 1")
+        if self.hot_poi_max_entries < 1:
+            raise ConfigError("hot_poi_max_entries must be >= 1")
+        if self.scan_cache_ttl_s is not None and self.scan_cache_ttl_s <= 0:
+            raise ConfigError("scan_cache_ttl_s must be positive or None")
+        if self.sweep_period_s <= 0:
+            raise ConfigError("sweep_period_s must be positive")
+
+
+@dataclass
 class PlatformConfig:
     """Top-level configuration for a MoDisSENSE deployment."""
 
@@ -271,6 +317,7 @@ class PlatformConfig:
     jobs: JobsConfig = field(default_factory=JobsConfig)
     tracing: TracingConfig = field(default_factory=TracingConfig)
     faults: FaultsConfig = field(default_factory=FaultsConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
     #: Seed for all synthetic-data randomness; fixed for reproducibility.
     seed: int = 2015
 

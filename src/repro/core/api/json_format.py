@@ -110,6 +110,9 @@ REQUEST_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "limit": (int, False),
         "slow": (bool, False),
     },
+    "admin_cache": {
+        "clear": (bool, False),
+    },
     "explain": {
         "bbox": (list, False),
         "keywords": (list, False),

@@ -72,6 +72,7 @@ class RestApi:
             "admin_describe": self._admin_describe,
             "admin_metrics": self._admin_metrics,
             "admin_traces": self._admin_traces,
+            "admin_cache": self._admin_cache,
             "explain": self._explain,
         }
         #: Observability sinks: auto-wired from the platform (which owns
@@ -291,6 +292,43 @@ class RestApi:
                 "format must be 'json' or 'prometheus', got %r" % fmt
             )
         return self._metrics.snapshot()
+
+    def _admin_cache(self, req: Dict) -> Dict:
+        """Caching-layer state: per-cache counters, occupancy and the
+        coalescer's totals.  ``clear`` drops every entry of both caches
+        (counted as invalidations) — the operator's big red button after
+        an out-of-band data fix."""
+        platform = self.platform
+        scan_cache = getattr(platform, "scan_cache", None)
+        hot_poi_cache = getattr(platform, "hot_poi_cache", None)
+        if req.get("clear"):
+            if scan_cache is not None:
+                scan_cache.clear()
+            if hot_poi_cache is not None:
+                hot_poi_cache.clear()
+        single_flight = getattr(
+            platform.query_answering, "single_flight", None
+        )
+        return {
+            "enabled": scan_cache is not None,
+            "scan": scan_cache.stats() if scan_cache is not None else None,
+            "hot_poi": (
+                hot_poi_cache.stats() if hot_poi_cache is not None else None
+            ),
+            "coalescing": {
+                "enabled": single_flight is not None,
+                "coalesced_total": (
+                    single_flight.coalesced_total
+                    if single_flight is not None
+                    else 0
+                ),
+                "in_flight": (
+                    single_flight.in_flight()
+                    if single_flight is not None
+                    else 0
+                ),
+            },
+        }
 
     def _admin_traces(self, req: Dict) -> Dict:
         """Recent span trees (newest first); ``slow`` selects the

@@ -18,6 +18,7 @@ from ...errors import DegradedResultWarning, QueryError
 from ...geo import BoundingBox
 from ...hbase import Coprocessor, CoprocessorContext
 from ..repositories.poi import POIRepository
+from ..caching import HotPOICache, SingleFlight
 from ..repositories.visits import (
     FAMILY,
     SCHEMA_NORMALIZED,
@@ -95,6 +96,10 @@ class SearchResult:
     missing_regions: Tuple = ()
     #: Fraction of invoked regions that contributed (1.0 when exact).
     coverage: float = 1.0
+    #: Per-friend region scan cache hits/misses summed across the
+    #: fan-out (both 0 when no cache is attached).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -148,11 +153,21 @@ class VisitScanCoprocessor(Coprocessor):
         )
         wanted = set(request.keywords)
         filtered = bbox is not None or bool(wanted)
+        cache = context.cache
+        window = (request.since, request.until)
         # poi_id -> [grade_sum, count, name, lat, lon]
         aggregates: Dict[int, list] = {}
-        #: poi_id -> False for POIs the filters rejected (accepted POIs
-        #: live in ``aggregates`` instead).
-        rejected: Dict[int, bool] = {}
+        #: Per-request filter memo: poi_id -> accepted?  (Cache entries
+        #: are filter-independent, so the verdict is computed at fold
+        #: time from the attribute memo.)
+        verdicts: Dict[int, bool] = {}
+        #: Per-run attribute memo: poi_id -> (name, lat, lon, keywords).
+        #: One full payload parse per distinct POI per invocation —
+        #: exactly the lazy-decoding contract of the single-pass loop
+        #: this replaced; cache hits seed it without any parse.
+        attrs: Dict[int, tuple] = {}
+        cache_hits = 0
+        cache_misses = 0
         cells_decoded = 0
         cells_scanned = 0
         time_range_keys = VisitsRepository.time_range_keys
@@ -167,43 +182,103 @@ class VisitScanCoprocessor(Coprocessor):
                 if not context.contains_row(prefix + b"\x00"):
                     # Another region owns this friend's salted key range.
                     continue
-            start, stop = time_range_keys(
-                friend_id, request.since, request.until
-            )
-            for cell in scan(FAMILY, start, stop):
-                cells_scanned += 1
-                # Cheap key-only decode: poi id at fixed row offsets.
-                poi_id = int.from_bytes(cell.row[21:29], "big")
-                entry = aggregates.get(poi_id)
-                if entry is not None:
-                    # Known-accepted POI: only the grade is needed, and a
-                    # positional slice beats a full JSON parse.
-                    entry[0] += decode_grade(cell.value)
-                    entry[1] += 1
+            # ---- per-friend unfiltered aggregate: cache, else scan ----
+            partial_items = None
+            if cache is not None:
+                cached = cache.lookup(
+                    context.region_id, friend_id, window, context.data_seqid
+                )
+                if cached is not None:
+                    cache_hits += 1
+                    partial_items = cached.partial
+                    for poi_id, poi_attrs in cached.attrs.items():
+                        if poi_id not in attrs:
+                            attrs[poi_id] = poi_attrs
+                else:
+                    cache_misses += 1
+            if partial_items is None:
+                # Stamp with the seqid *before* scanning: a write racing
+                # with this scan bumps it, so the stored entry is stale
+                # on arrival and no lookup will ever accept it.
+                seqid = context.data_seqid if cache is not None else 0
+                friend_cells = 0
+                # poi_id -> [grade_sum, count], first-encounter order.
+                partial: Dict[int, list] = {}
+                start, stop = time_range_keys(
+                    friend_id, request.since, request.until
+                )
+                for cell in scan(FAMILY, start, stop):
+                    friend_cells += 1
+                    # Cheap key-only decode: poi id at fixed row offsets.
+                    poi_id = int.from_bytes(cell.row[21:29], "big")
+                    entry = partial.get(poi_id)
+                    if entry is not None:
+                        # Known POI: only the grade is needed, and a
+                        # positional slice beats a full JSON parse.
+                        entry[0] += decode_grade(cell.value)
+                        entry[1] += 1
+                        continue
+                    if poi_id in attrs:
+                        grade = decode_grade(cell.value)
+                    else:
+                        payload = decode_json(cell.value)
+                        cells_decoded += 1
+                        grade = payload["grade"]
+                        attrs[poi_id] = (
+                            payload.get("name", ""),
+                            payload.get("lat", 0.0),
+                            payload.get("lon", 0.0),
+                            tuple(payload.get("keywords", ())),
+                        )
+                    partial[poi_id] = [grade, 1]
+                cells_scanned += friend_cells
+                partial_items = tuple(
+                    (poi_id, entry[0], entry[1])
+                    for poi_id, entry in partial.items()
+                )
+                if cache is not None:
+                    cache.store(
+                        context.region_id,
+                        friend_id,
+                        window,
+                        seqid,
+                        partial_items,
+                        {item[0]: attrs[item[0]] for item in partial_items},
+                        cells=friend_cells,
+                    )
+            # ---- fold: apply this request's filters, then aggregate ----
+            # Identical fold structure whether the partial came from the
+            # cache or a fresh scan, so answers are bit-identical.
+            for poi_id, grade_sum, count in partial_items:
+                agg = aggregates.get(poi_id)
+                if agg is not None:
+                    agg[0] += grade_sum
+                    agg[1] += count
                     continue
-                if filtered and poi_id in rejected:
-                    continue  # known-rejected POI: no decode at all
-                payload = decode_json(cell.value)
-                cells_decoded += 1
-                lat = payload.get("lat", 0.0)
-                lon = payload.get("lon", 0.0)
+                name, lat, lon, poi_keywords = attrs[poi_id]
                 if filtered:
-                    if bbox is not None and not bbox.contains_coords(lat, lon):
-                        rejected[poi_id] = False
+                    decision = verdicts.get(poi_id)
+                    if decision is None:
+                        decision = not (
+                            (
+                                bbox is not None
+                                and not bbox.contains_coords(lat, lon)
+                            )
+                            or (
+                                wanted
+                                and not (
+                                    wanted
+                                    & {
+                                        str(k).lower()
+                                        for k in poi_keywords
+                                    }
+                                )
+                            )
+                        )
+                        verdicts[poi_id] = decision
+                    if not decision:
                         continue
-                    if wanted and not (
-                        wanted
-                        & {str(k).lower() for k in payload.get("keywords", ())}
-                    ):
-                        rejected[poi_id] = False
-                        continue
-                aggregates[poi_id] = [
-                    payload["grade"],
-                    1,
-                    payload.get("name", ""),
-                    lat,
-                    lon,
-                ]
+                aggregates[poi_id] = [grade_sum, count, name, lat, lon]
 
         stage.tag("cells_scanned", cells_scanned)
         stage.tag("cells_decoded", cells_decoded)
@@ -211,6 +286,17 @@ class VisitScanCoprocessor(Coprocessor):
 
         context.add_scanned(cells_scanned)
         context.count("cells_decoded", cells_decoded)
+        if cache is not None:
+            # Marker span: per-region cache effectiveness, visible as a
+            # ``cache.lookup`` child in the query's fan-out trace.
+            context.trace(
+                "cache.lookup",
+                friends=len(request.friend_ids),
+                hits=cache_hits,
+                misses=cache_misses,
+            ).finish()
+            context.count("cache_hits", cache_hits)
+            context.count("cache_misses", cache_misses)
         with context.trace("region.sort") as sort_stage:
             partial = [
                 (poi_id, entry[0], entry[1], entry[2], entry[3], entry[4])
@@ -254,22 +340,63 @@ class QueryAnsweringModule:
         poi_repository: POIRepository,
         visits_repository: VisitsRepository,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[object] = None,
+        hot_poi_cache: Optional[HotPOICache] = None,
+        coalesce: bool = False,
     ) -> None:
         self.pois = poi_repository
         self.visits = visits_repository
         self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
+        #: Optional epoch-stamped cache over non-personalized answers
+        #: (invalidated by HotIn refreshes and POI writes).
+        self.hot_poi_cache = hot_poi_cache
+        #: Single-flight table deduplicating identical concurrent
+        #: personalized queries; None when coalescing is off.  The
+        #: platform enables it from ``config.cache.coalesce``; direct
+        #: constructions default to off so single-threaded callers pay
+        #: nothing.
+        self.single_flight: Optional[SingleFlight] = (
+            SingleFlight() if coalesce else None
+        )
         self._coprocessor = VisitScanCoprocessor()
 
     # -------------------------------------------------------- public API
 
     def search(self, query: SearchQuery) -> SearchResult:
-        """Answer one query."""
+        """Answer one query.
+
+        With coalescing enabled, identical personalized queries that
+        arrive while one is in flight share that flight's fan-out and
+        result instead of re-executing it (``queries.coalesced`` counts
+        the shared calls)."""
         if query.personalized:
+            if self.single_flight is not None:
+                result, coalesced = self.single_flight.do(
+                    self._coalesce_key(query),
+                    lambda: self.search_personalized_batch([query])[0],
+                )
+                if coalesced and self.metrics is not None:
+                    self.metrics.increment("queries.coalesced")
+                return result
             return self.search_personalized_batch([query])[0]
         with self.tracer.span(
             "query.non_personalized", keywords=len(query.keywords)
         ):
             return self._search_sql(query)
+
+    @staticmethod
+    def _coalesce_key(query: SearchQuery) -> Tuple:
+        """Full query identity — every field that can change the answer."""
+        return (
+            query.bbox.as_tuple() if query.bbox else None,
+            query.keywords,
+            query.friend_ids,
+            query.since,
+            query.until,
+            query.sort_by,
+            query.limit,
+        )
 
     def search_personalized_batch(
         self, queries: Sequence[SearchQuery]
@@ -466,16 +593,40 @@ class QueryAnsweringModule:
             degraded=call.degraded,
             missing_regions=tuple(call.missing_regions),
             coverage=call.coverage,
+            cache_hits=call.counters.get("cache_hits", 0),
+            cache_misses=call.counters.get("cache_misses", 0),
         )
 
     def _search_sql(self, query: SearchQuery) -> SearchResult:
+        cache = self.hot_poi_cache
+        if cache is not None:
+            key = (
+                query.bbox.as_tuple() if query.bbox else None,
+                query.keywords,
+                query.sort_by,
+                query.limit,
+            )
+            # Read the stamp *before* running the select: a write
+            # landing in between makes the stored stamp stale, never
+            # the other way around.
+            version = self.pois.version
+            rows = cache.get(key, version)
+            if rows is None:
+                rows = tuple(self._sql_rows(query))
+                cache.store(key, version, rows)
+            # Fresh result object per call; the row tuples are shared
+            # but immutable (ScoredPOI is frozen).
+            return SearchResult(pois=list(rows), personalized=False)
+        return SearchResult(pois=self._sql_rows(query), personalized=False)
+
+    def _sql_rows(self, query: SearchQuery) -> List[ScoredPOI]:
         pois = self.pois.search(
             bbox=query.bbox,
             keywords=query.keywords or None,
             sort_by=query.sort_by,
             limit=query.limit,
         )
-        rows = [
+        return [
             ScoredPOI(
                 poi_id=p.poi_id,
                 name=p.name,
@@ -486,7 +637,6 @@ class QueryAnsweringModule:
             )
             for p in pois
         ]
-        return SearchResult(pois=rows, personalized=False)
 
     # ------------------------------------------------- ablation baseline
 

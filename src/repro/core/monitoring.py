@@ -332,6 +332,15 @@ class InstrumentedQueryAnswering:
         self.metrics.increment("cells.decoded", result.cells_decoded)
         self.metrics.increment("regions.pruned", result.regions_pruned)
         self.metrics.increment("regions.used", result.regions_used)
+        # Scan-cache effectiveness, aggregated per query rather than per
+        # lookup (the per-friend loop is far too hot to emit from).
+        if result.cache_hits or result.cache_misses:
+            self.metrics.increment(
+                "cache.hits", result.cache_hits, labels={"cache": "scan"}
+            )
+            self.metrics.increment(
+                "cache.misses", result.cache_misses, labels={"cache": "scan"}
+            )
         if result.degraded:
             # Partial answers are still answers, but an operator must be
             # able to alert on how often coverage dropped below 1.0.

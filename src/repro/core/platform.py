@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PlatformConfig
 from ..datagen.gps import GPSPoint
-from ..hbase import HBaseCluster
+from ..hbase import HBaseCluster, RegionScanCache
 from ..mapreduce import JobRunner
 from ..social import (
     NETWORK_FACEBOOK,
@@ -30,6 +30,7 @@ from .modules.query_answering import (
     SearchQuery,
     SearchResult,
 )
+from .caching import HotPOICache
 from .faults import FaultInjector
 from .monitoring import InstrumentedQueryAnswering, PlatformMetrics
 from .tracing import Tracer
@@ -125,9 +126,33 @@ class MoDisSENSE:
             text_processing=self.text_processing,
             poi_repository=self.poi_repository,
         )
+        # ---- caching tier (off by default; see config.cache)
+        cache_cfg = self.config.cache
+        #: Per-region friend-partition scan cache, attached to the HBase
+        #: client so coprocessor invocations can consult it; None when
+        #: caching is disabled (the fan-out then behaves exactly as
+        #: before this layer existed).
+        self.scan_cache: Optional[RegionScanCache] = None
+        self.hot_poi_cache: Optional[HotPOICache] = None
+        if cache_cfg.enabled:
+            self.scan_cache = RegionScanCache(
+                max_entries=cache_cfg.scan_cache_max_entries,
+                ttl_s=cache_cfg.scan_cache_ttl_s,
+                metrics=self.metrics,
+            )
+            self.hbase.attach_scan_cache(self.scan_cache)
+            self.hot_poi_cache = HotPOICache(
+                max_entries=cache_cfg.hot_poi_max_entries,
+                metrics=self.metrics,
+            )
         self.query_answering = InstrumentedQueryAnswering(
             QueryAnsweringModule(
-                self.poi_repository, self.visits_repository, tracer=self.tracer
+                self.poi_repository,
+                self.visits_repository,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                hot_poi_cache=self.hot_poi_cache,
+                coalesce=cache_cfg.coalesce,
             ),
             metrics=self.metrics,
         )
@@ -176,8 +201,25 @@ class MoDisSENSE:
         return self.data_collection.run(now)
 
     def run_hotin(self, since: int, until: int) -> HotInReport:
-        """Run the HotIn Update job over ``[since, until)``."""
-        return self.hotin_update.run(since, until)
+        """Run the HotIn Update job over ``[since, until)``.
+
+        The job rewrites POI hotness/interest columns, so every cached
+        non-personalized answer is invalidated by bumping the hot-POI
+        cache epoch after the refresh lands."""
+        report = self.hotin_update.run(since, until)
+        if self.hot_poi_cache is not None:
+            self.hot_poi_cache.bump_epoch()
+        return report
+
+    def sweep_caches(self) -> int:
+        """Reap dead scan-cache entries (TTL-expired or seqid-stale).
+
+        Wired to the scheduler's ``cache_maintenance`` job.  Uses wall
+        clock internally — the scheduler's simulated ``now`` must not
+        leak into TTL arithmetic — and returns the entries removed."""
+        if self.scan_cache is None:
+            return 0
+        return self.hbase.scan_cache_sweep()
 
     def detect_events(self, since: Optional[int] = None, until: Optional[int] = None):
         """Run the Event Detection Module once."""
@@ -248,4 +290,8 @@ class MoDisSENSE:
             "visits": self.visits_repository.count(),
             "networks": sorted(self.plugins),
             "tracing": self.tracer.describe(),
+            "cache": {
+                "enabled": self.scan_cache is not None,
+                "coalesce": self.config.cache.coalesce,
+            },
         }

@@ -74,6 +74,10 @@ class POIRepository:
 
     def __init__(self, engine: SqlEngine) -> None:
         self.engine = engine
+        #: Monotonic write version: bumped by every insert and HotIn
+        #: update.  The hot-POI answer cache stamps entries with it, so
+        #: any POI write invalidates cached non-personalized answers.
+        self.version = 0
         schema = TableSchema(
             name=TABLE,
             columns=[
@@ -113,6 +117,7 @@ class POIRepository:
                 "auto_detected": poi.auto_detected,
             },
         )
+        self.version += 1
 
     def get(self, poi_id: int) -> Optional[POI]:
         row = self.engine.table(TABLE).get_by_pk(poi_id)
@@ -127,6 +132,7 @@ class POIRepository:
         self.engine.update(
             TABLE, next(iter(rids)), {"hotness": hotness, "interest": interest}
         )
+        self.version += 1
         return True
 
     def next_poi_id(self) -> int:

@@ -193,4 +193,14 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
         jobs.event_detection_period_s,
         lambda now: platform.detect_events(until=int(now)),
     )
+    if getattr(platform, "scan_cache", None) is not None:
+        # Reap scan-cache entries no lookup can accept anymore.  The
+        # simulated firing time is deliberately ignored: TTL stamps are
+        # wall-clock (time.monotonic), so the sweep must use the cache's
+        # own clock, not the scheduler's.
+        scheduler.register(
+            "cache_maintenance",
+            platform.config.cache.sweep_period_s,
+            lambda now: platform.sweep_caches(),
+        )
     return scheduler

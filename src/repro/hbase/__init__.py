@@ -42,6 +42,7 @@ from .region import Region
 from .wal import WriteAheadLog, WALRecord
 from .table import HTable, TableDescriptor
 from .coprocessor import Coprocessor, CoprocessorContext, CorruptPartial
+from .cache import RegionScanCache
 from .client import HBaseCluster, CoprocessorCallResult
 
 __all__ = [
@@ -70,6 +71,7 @@ __all__ = [
     "Coprocessor",
     "CoprocessorContext",
     "CorruptPartial",
+    "RegionScanCache",
     "HBaseCluster",
     "CoprocessorCallResult",
 ]

@@ -1,0 +1,262 @@
+"""Write-aware region scan cache for the personalized query path.
+
+One personalized query scans each queried friend's salted key range
+inside the region owning it.  Overlapping friend sets across concurrent
+queries re-scan (and re-decode) the same ranges; :class:`RegionScanCache`
+memoizes the *per-friend* aggregation so a friend's visits are scanned
+once per (region, time-window) until the region mutates.
+
+Consistency is seqid-driven, not message-driven: every entry is stamped
+with the owning region's :attr:`~repro.hbase.region.Region.data_seqid`
+captured **before** the scan that produced it.  Any MemStore write,
+flush, compaction or TTL change bumps the region's seqid, so a lookup
+against the region's *current* seqid rejects the entry — including
+entries racing with a concurrent write (the write lands after the
+capture, so the stored stamp is already stale by store time).  Cached
+answers are therefore byte-identical to a cache-off run by construction:
+a hit can only serve data whose region is untouched since the scan.
+
+Cached values are immutable tuples; callers must fold them without
+mutation.  The cache never caches under an injected fault and is
+explicitly invalidated for regions a failed node owned (see
+``HBaseCluster.fail_node``).
+
+Thread-safe: one lock guards the LRU map and the stats counters.  Like
+the rest of ``hbase``, this module never imports ``core`` — the metrics
+sink is duck-typed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+#: Labels every metric emission carries, so the scan cache's series
+#: stay distinct from the hot-POI cache's.
+_METRIC_LABELS = {"cache": "scan"}
+
+
+class _Entry:
+    """One cached per-friend region partial."""
+
+    __slots__ = ("seqid", "partial", "attrs", "cells", "stored_at")
+
+    def __init__(self, seqid, partial, attrs, cells, stored_at):
+        self.seqid = seqid
+        self.partial = partial
+        self.attrs = attrs
+        self.cells = cells
+        self.stored_at = stored_at
+
+
+class RegionScanCache:
+    """Seqid-stamped LRU over per-friend region scan aggregates.
+
+    Keys are ``(region_id, friend_id, since, until)``; values carry the
+    friend's unfiltered per-POI aggregates — ``((poi_id, grade_sum,
+    count), ...)`` in first-encounter order — plus the attribute rows
+    (name, lat, lon, keywords) of every POI in the partial, so a later
+    query with *different* spatial/textual filters can still reuse the
+    entry and apply its own filter at fold time.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; the least-recently-used entry is evicted on
+        overflow.
+    ttl_s:
+        Optional wall-clock lifetime; expired entries are treated as
+        misses and reaped by :meth:`sweep`.
+    metrics:
+        Optional duck-typed ``PlatformMetrics``: evictions and
+        invalidations are reported as ``cache.evictions`` /
+        ``cache.invalidations`` with ``{"cache": "scan"}`` labels.
+        Hits/misses are *not* emitted per lookup (the friend loop is
+        the hot path); they flow through the coprocessor's counters
+        into per-query results and are aggregated by the monitoring
+        wrapper.
+    clock:
+        Injectable time source for tests (defaults to ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        ttl_s: Optional[float] = None,
+        metrics: Optional[Any] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive or None")
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._metrics = metrics
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
+        #: region_id -> set of live keys, for O(region's entries)
+        #: invalidation instead of a full-map sweep.
+        self._by_region: Dict[int, set] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------ lookup
+
+    def lookup(
+        self,
+        region_id: int,
+        friend_id: int,
+        window: Tuple,
+        current_seqid: int,
+    ) -> Optional[_Entry]:
+        """The entry for ``(region, friend, window)`` if still valid.
+
+        Validity means the stored seqid equals the region's *current*
+        data seqid (any mutation since the producing scan rejects) and
+        the entry is within TTL.  Stale entries are dropped eagerly.
+        """
+        key = (region_id, friend_id, window[0], window[1])
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if entry.seqid != current_seqid or (
+                self.ttl_s is not None
+                and self._clock() - entry.stored_at >= self.ttl_s
+            ):
+                self._drop(key)
+                self._invalidations += 1
+                self._misses += 1
+                self._emit("cache.invalidations")
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def store(
+        self,
+        region_id: int,
+        friend_id: int,
+        window: Tuple,
+        seqid: int,
+        partial: Tuple,
+        attrs: Mapping[int, tuple],
+        cells: int = 0,
+    ) -> None:
+        """Insert one per-friend partial, stamped with ``seqid``
+        (the region's data seqid captured *before* the scan ran)."""
+        key = (region_id, friend_id, window[0], window[1])
+        entry = _Entry(seqid, partial, dict(attrs), cells, self._clock())
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            self._by_region.setdefault(region_id, set()).add(key)
+            while len(self._entries) > self.max_entries:
+                old_key, _ = self._entries.popitem(last=False)
+                keys = self._by_region.get(old_key[0])
+                if keys is not None:
+                    keys.discard(old_key)
+                    if not keys:
+                        del self._by_region[old_key[0]]
+                self._evictions += 1
+                self._emit("cache.evictions")
+
+    # ------------------------------------------------------ invalidation
+
+    def invalidate_regions(self, region_ids: Iterable[int]) -> int:
+        """Drop every entry of the given regions (node failure path).
+        Returns the number of entries removed."""
+        removed = 0
+        with self._lock:
+            for region_id in region_ids:
+                keys = self._by_region.pop(region_id, None)
+                if not keys:
+                    continue
+                for key in keys:
+                    self._entries.pop(key, None)
+                    removed += 1
+            if removed:
+                self._invalidations += removed
+                self._emit("cache.invalidations", removed)
+        return removed
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            self._by_region.clear()
+            if removed:
+                self._invalidations += removed
+                self._emit("cache.invalidations", removed)
+        return removed
+
+    def sweep(
+        self,
+        current_seqids: Optional[Mapping[int, int]] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Reap dead entries: TTL-expired ones, plus — when the caller
+        supplies the regions' current seqids — seqid-stale ones.  The
+        scheduler's ``cache_maintenance`` job calls this so memory is
+        not held by entries no lookup will ever accept again."""
+        if now is None:
+            now = self._clock()
+        dead = []
+        with self._lock:
+            for key, entry in self._entries.items():
+                if self.ttl_s is not None and now - entry.stored_at >= self.ttl_s:
+                    dead.append(key)
+                elif (
+                    current_seqids is not None
+                    and entry.seqid != current_seqids.get(key[0], entry.seqid)
+                ):
+                    dead.append(key)
+            for key in dead:
+                self._drop(key)
+            if dead:
+                self._invalidations += len(dead)
+                self._emit("cache.invalidations", len(dead))
+        return len(dead)
+
+    def _drop(self, key: Tuple) -> None:
+        """Remove one key; caller holds the lock."""
+        self._entries.pop(key, None)
+        keys = self._by_region.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_region[key[0]]
+
+    def _emit(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.increment(name, amount, labels=_METRIC_LABELS)
+
+    # ------------------------------------------------------------- stats
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters + occupancy for the admin endpoint and tests."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "ttl_s": self.ttl_s,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+                "hit_rate": self._hits / lookups if lookups else 0.0,
+            }

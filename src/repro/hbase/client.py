@@ -31,6 +31,7 @@ from ..errors import (
     TableExistsError,
     TableNotFoundError,
 )
+from .cache import RegionScanCache
 from .coprocessor import Coprocessor, CoprocessorContext
 from .region import Region
 from .table import HTable, TableDescriptor
@@ -154,6 +155,9 @@ class HBaseCluster:
         self.fault_injector: Optional[Any] = None
         #: Optional metrics sink (duck-typed ``PlatformMetrics``).
         self._metrics: Optional[Any] = None
+        #: Optional region scan cache (see :mod:`repro.hbase.cache`);
+        #: None (the default) keeps the fan-out cache-free.
+        self.scan_cache: Optional[RegionScanCache] = None
         self._fanout_lock = threading.Lock()
         self._fanout_epoch = 0
         self._breaker_lock = threading.Lock()
@@ -170,6 +174,24 @@ class HBaseCluster:
         """Arm a :class:`repro.core.faults.FaultInjector` on the query
         fan-out.  Detach by passing None."""
         self.fault_injector = injector
+
+    def attach_scan_cache(self, cache: Optional[RegionScanCache]) -> None:
+        """Hand every *clean* coprocessor invocation a scan cache to
+        consult.  Detach by passing None; invocations the fault injector
+        touched never see the cache either way."""
+        self.scan_cache = cache
+
+    def scan_cache_sweep(self, now: Optional[float] = None) -> int:
+        """Reap dead scan-cache entries (TTL-expired or stamped with a
+        superseded region seqid).  Returns the number dropped; 0 when no
+        cache is attached."""
+        if self.scan_cache is None:
+            return 0
+        seqids: Dict[int, int] = {}
+        for table in self._tables.values():
+            for region in table.regions:
+                seqids[region.region_id] = region.data_seqid
+        return self.scan_cache.sweep(current_seqids=seqids, now=now)
 
     def _count(
         self, name: str, amount: int = 1, labels: Optional[Mapping] = None
@@ -574,6 +596,10 @@ class HBaseCluster:
         endpoint that raises can no longer orphan its span — and failed
         attempts are tagged ``error=<exception class>``.
         """
+        # A faulted invocation must neither serve nor populate the scan
+        # cache: its partial may be corrupted in flight, and a degraded
+        # answer must never become a future query's "clean" data.
+        cache = self.scan_cache if fault is None else None
         span = None
         if tracer is not None:
             tags: Dict[str, Any] = {"region_id": region.region_id, "node": node_id}
@@ -582,9 +608,11 @@ class HBaseCluster:
             if hedged:
                 tags["hedged"] = True
             span = tracer.span("region.scan", parent=parent_span, **tags)
-            context = CoprocessorContext(region, tracer=tracer, span=span)
+            context = CoprocessorContext(
+                region, tracer=tracer, span=span, cache=cache
+            )
         else:
-            context = CoprocessorContext(region)
+            context = CoprocessorContext(region, cache=cache)
         try:
             partial = coprocessor.run(context, request)
             if fault is not None and fault.kind == _FAULT_CORRUPT:
@@ -804,6 +832,11 @@ class HBaseCluster:
         degraded-result path."""
         moved = self.simulation.fail_node(node_id)
         self._breaker_reset(node_id)
+        if self.scan_cache is not None and moved:
+            # The dead node's regions reopen elsewhere: drop their
+            # cached partials rather than trust entries produced on a
+            # server that just disappeared mid-write.
+            self.scan_cache.invalidate_regions(moved)
         if self.fault_injector is not None and moved:
             self.fault_injector.on_node_failed(node_id, moved)
         return moved

@@ -73,9 +73,15 @@ class CoprocessorContext:
         region: Region,
         tracer: Optional[Any] = None,
         span: Optional[Any] = None,
+        cache: Optional[Any] = None,
     ) -> None:
         self._region = region
         self.records_scanned = 0
+        #: Region scan cache (see :mod:`repro.hbase.cache`) this
+        #: invocation may consult; None on the uncached path and for
+        #: any invocation the fault injector touched — a faulted run
+        #: must neither serve nor populate cached partials.
+        self.cache = cache
         #: Free-form endpoint counters (e.g. ``cells_decoded``); the
         #: client sums them across regions into the call result so a
         #: query's work profile is observable end to end.
@@ -105,6 +111,13 @@ class CoprocessorContext:
     @property
     def region_id(self) -> int:
         return self._region.region_id
+
+    @property
+    def data_seqid(self) -> int:
+        """The region's current data sequence id.  Endpoints capture it
+        *before* a scan and stamp cache entries with it, so any write
+        racing with the scan invalidates the entry."""
+        return self._region.data_seqid
 
     @property
     def start_key(self) -> Optional[bytes]:

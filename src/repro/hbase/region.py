@@ -51,6 +51,14 @@ class Region:
         #: Monotonic per-region write counter; doubles as a version
         #: tie-breaker when callers put twice at the same timestamp.
         self.write_count = 0
+        #: Monotonic data sequence id: bumped by every mutation that can
+        #: change what a reader observes *or* reorganizes storage — puts
+        #: (including tombstones), flushes, minor/major compactions, TTL
+        #: cutoff changes and store-file adoption.  Scan-cache entries
+        #: are stamped with the seqid captured before their scan, so any
+        #: concurrent or later mutation makes them stale (HBase's
+        #: read-point semantics, used here for invalidation).
+        self.data_seqid = 0
         #: Optional durability log: every put is appended before it is
         #: applied; a full flush lets the log truncate (see recover()).
         self.wal = wal
@@ -103,6 +111,7 @@ class Region:
         store = self._memstore(cell.family)
         store.put(cell)
         self.write_count += 1
+        self.data_seqid += 1
         if store.should_flush:
             self.flush(cell.family)
 
@@ -131,6 +140,7 @@ class Region:
                 continue
             self._store_files[fam].append(StoreFile(store.snapshot()))
             store.clear()
+            self.data_seqid += 1
             if (
                 self.minor_compaction_threshold > 0
                 and len(self._store_files[fam]) >= self.minor_compaction_threshold
@@ -149,6 +159,7 @@ class Region:
             return
         merged = merge_sorted_runs([sf.cells() for sf in files])
         self._store_files[family] = [StoreFile(merged)]
+        self.data_seqid += 1
 
     @classmethod
     def recover(
@@ -179,6 +190,7 @@ class Region:
     def adopt_store_files(self, family: str, files: List[StoreFile]) -> None:
         """Attach surviving on-disk store files during recovery."""
         self._store_files[family] = list(files) + self._store_files[family]
+        self.data_seqid += 1
 
     def compact(self, family: Optional[str] = None) -> None:
         """Major compaction: merge all runs, apply tombstones, keep only
@@ -208,6 +220,7 @@ class Region:
                 survivors.append(cell)
             self._memstore(fam).clear()
             self._store_files[fam] = [StoreFile(survivors)] if survivors else []
+            self.data_seqid += 1
 
     # ------------------------------------------------------------- reads
 
@@ -220,6 +233,8 @@ class Region:
         self._memstore(family)  # validates the family
         previous = self._ttl_cutoff.get(family, 0)
         self._ttl_cutoff[family] = max(previous, cutoff_ts)
+        if self._ttl_cutoff[family] != previous:
+            self.data_seqid += 1
 
     def _expired(self, cell: Cell) -> bool:
         return cell.timestamp < self._ttl_cutoff.get(cell.family, 0)

@@ -206,7 +206,8 @@ class TestEndpoints:
         assert "admin_describe" in endpoints
         assert "explain" in endpoints
         assert "admin_traces" in endpoints
-        assert len(endpoints) == 14
+        assert "admin_cache" in endpoints
+        assert len(endpoints) == 15
 
     def test_explain_endpoint(self, api):
         rest, p = api

@@ -595,3 +595,132 @@ class TestWebServerFarm:
         farm.schedule_merges([MergeWork(0, items=1_000_000, ready_at=0.0)])
         farm.reset()
         assert farm.servers[0].core_available_at == [0.0]
+
+    def test_round_robin_cursor_wraps_instead_of_growing(self):
+        """Regression: the balancer cursor used to grow without bound
+        (``self._next_server += 1``); on a long-lived balancer that is a
+        slow leak and an overflow in fixed-width implementations.  The
+        cursor must stay inside ``[0, num_servers)`` forever and the
+        rotation order must survive the wrap."""
+        farm = WebServerFarm(num_servers=3, cores_per_server=1)
+        routed = []
+        for _ in range(3 * 7 + 2):
+            routed.append(farm._route().node_id)
+            assert 0 <= farm._next_server < len(farm.servers)
+        assert routed == [i % 3 for i in range(len(routed))]
+        # Wrap boundary specifically: after a full cycle the cursor is
+        # back at 0, not at num_servers.
+        farm.reset()
+        for _ in range(3):
+            farm._route()
+        assert farm._next_server == 0
+
+    def test_least_loaded_ties_break_to_lowest_index(self):
+        """With all servers idle, least-loaded must be deterministic:
+        the lowest-indexed server wins the tie every time."""
+        farm = WebServerFarm(num_servers=3, cores_per_server=1,
+                             routing="least_loaded")
+        assert farm._route().node_id == 0
+        # Occupy server 0's only core; the next tie (1 vs 2, both
+        # idle) deterministically goes to 1.
+        farm.schedule_merges([MergeWork(0, items=1_000_000, ready_at=0.0)])
+        assert farm._route().node_id == 1
+
+
+class TestCacheGoldenRegression:
+    """Golden parity across the three execution modes: cache-off,
+    cache-on, and cache-on with the PR-3 fault machinery exercising the
+    path.  Faulted invocations run uncached by design, so no injector
+    activity may ever pollute what later cache hits serve."""
+
+    def _warm_stack(self):
+        from repro.hbase import RegionScanCache
+
+        cluster, qa, query = _build_qa()
+        cache = RegionScanCache()
+        return cluster, qa, query, cache
+
+    def test_cache_on_off_answers_identical(self):
+        cluster, qa, query, cache = self._warm_stack()
+        try:
+            off = qa.search(query)
+            cluster.attach_scan_cache(cache)
+            populate = qa.search(query)
+            hit = qa.search(query)
+            for result in (populate, hit):
+                assert [
+                    (p.poi_id, p.name, p.lat, p.lon, p.score, p.visit_count)
+                    for p in result.pois
+                ] == [
+                    (p.poi_id, p.name, p.lat, p.lon, p.score, p.visit_count)
+                    for p in off.pois
+                ]
+            assert populate.cache_misses > 0
+            assert hit.cache_hits > 0 and hit.cache_misses == 0
+            # The hit run did strictly less storage work.
+            assert hit.records_scanned < populate.records_scanned
+        finally:
+            cluster.shutdown()
+
+    def test_faulted_runs_never_pollute_the_cache(self):
+        cluster, qa, query, cache = self._warm_stack()
+        try:
+            oracle = qa.search(query)  # clean, uncached baseline
+            cluster.attach_scan_cache(cache)
+            injector = FaultInjector(FaultsConfig(
+                enabled=True, region_error_rate=1.0,
+                max_retries=1, hedge_enabled=False,
+            ))
+            cluster.attach_fault_injector(injector)
+            # Every invocation faults, every run fully degrades — and a
+            # faulted invocation must neither populate nor consult the
+            # cache, so the cache stays empty through the whole storm.
+            import warnings as _warnings
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore", DegradedResultWarning)
+                for _ in range(3):
+                    stormy = qa.search(query)
+                    assert stormy.degraded
+                    assert stormy.cache_hits == 0
+            assert len(cache) == 0  # faulted fan-outs bypass the cache
+            # Disarm; the cached path must now match the clean oracle.
+            cluster.attach_fault_injector(None)
+            clean_on = qa.search(query)
+            assert not clean_on.degraded
+            assert [
+                (p.poi_id, p.name, p.lat, p.lon, p.score, p.visit_count)
+                for p in clean_on.pois
+            ] == [
+                (p.poi_id, p.name, p.lat, p.lon, p.score, p.visit_count)
+                for p in oracle.pois
+            ]
+            # And a second pass serves hits that still agree.
+            hit = qa.search(query)
+            assert hit.cache_hits > 0
+            assert [p.poi_id for p in hit.pois] == \
+                   [p.poi_id for p in oracle.pois]
+        finally:
+            cluster.shutdown()
+
+    def test_node_failure_with_cache_matches_oracle(self):
+        cluster, qa, query, cache = self._warm_stack()
+        try:
+            cluster.attach_scan_cache(cache)
+            qa.search(query)  # warm
+            invalidations_before = cache.stats()["invalidations"]
+            cluster.fail_node(0)
+            # The failed node's regions moved; their entries must be gone.
+            assert cache.stats()["invalidations"] > invalidations_before
+            cached = qa.search(query)
+            cluster.scan_cache = None
+            oracle = qa.search(query)
+            cluster.scan_cache = cache
+            assert [
+                (p.poi_id, p.name, p.lat, p.lon, p.score, p.visit_count)
+                for p in cached.pois
+            ] == [
+                (p.poi_id, p.name, p.lat, p.lon, p.score, p.visit_count)
+                for p in oracle.pois
+            ]
+        finally:
+            cluster.shutdown()
