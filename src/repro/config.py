@@ -309,6 +309,87 @@ class CacheConfig:
 
 
 @dataclass
+class IngestConfig:
+    """Knobs of the streaming ingest tier (``repro.core.ingest``).
+
+    Off by default: with ``enabled=False`` no tier is constructed and
+    every write takes the seed single-put path.  With it on, visits
+    submitted through :meth:`MoDisSENSE.ingest_visit` flow through
+    bounded per-partition queues into applier workers that group-commit
+    batches through the WAL and fold HotIn aggregates incrementally —
+    the batch MapReduce job is then only a periodic reconciliation pass.
+    """
+
+    #: Master switch for the streaming ingest tier.
+    enabled: bool = False
+    #: Applier workers / queue partitions.  Regions are mapped onto
+    #: partitions (many-to-one) and remapped by the load-aware
+    #: rebalancer; each region is drained by exactly one applier at a
+    #: time, keeping regions single-writer.
+    num_partitions: int = 4
+    #: Bounded capacity of each partition queue, in visits.
+    queue_capacity: int = 4096
+    #: Max visits one applier batch group-commits (one WAL sync per
+    #: region per batch).
+    max_batch: int = 256
+    #: ``"block"``: a producer hitting a full queue waits up to
+    #: ``block_timeout_s`` then fails typed; ``"shed"``: it fails typed
+    #: immediately (load shedding).  Either way the visit was never
+    #: enqueued, so nothing is half-applied.
+    backpressure: str = "block"
+    #: Blocking producers give up (BackpressureError) after this long.
+    block_timeout_s: float = 5.0
+    #: Arms the load-aware repartitioner.
+    rebalance_enabled: bool = True
+    #: A partition is hot when its share of the observation window's
+    #: events exceeds ``rebalance_hot_ratio`` times the mean share.
+    rebalance_hot_ratio: float = 2.0
+    #: Rebalance checks are skipped until the observation window has
+    #: seen at least this many events (avoids thrashing on noise).
+    rebalance_min_events: int = 512
+    #: Period of the scheduler's ``ingest_rebalance`` job (sim seconds).
+    rebalance_period_s: float = 60.0
+    #: Period of the scheduler's ``hotin_reconcile`` verify-and-repair
+    #: job (sim seconds) — the demoted batch MapReduce pass.
+    reconcile_period_s: float = 3600.0
+    #: Incremental HotIn cells older than the reconcile window's start
+    #: minus this slack are pruned after each reconcile (seconds of
+    #: event time); 0 disables pruning.
+    prune_slack_s: float = 24 * 3600.0
+    #: Dirty-POI hotness pushes into the SQL repository are coalesced
+    #: to at most one per this many wall seconds (0 = push every
+    #: batch).  Bounds query-visible hotness staleness while keeping
+    #: appliers off the indexed-update path on every batch; a drain or
+    #: recovery always flushes regardless.
+    refresh_interval_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1:
+            raise ConfigError("num_partitions must be >= 1")
+        if self.queue_capacity < 1:
+            raise ConfigError("queue_capacity must be >= 1")
+        if self.max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if self.backpressure not in ("block", "shed"):
+            raise ConfigError(
+                "backpressure must be 'block' or 'shed', got %r"
+                % self.backpressure
+            )
+        if self.block_timeout_s <= 0:
+            raise ConfigError("block_timeout_s must be positive")
+        if self.rebalance_hot_ratio < 1.0:
+            raise ConfigError("rebalance_hot_ratio must be >= 1")
+        if self.refresh_interval_s < 0:
+            raise ConfigError("refresh_interval_s must be >= 0")
+        if self.rebalance_min_events < 1:
+            raise ConfigError("rebalance_min_events must be >= 1")
+        if self.rebalance_period_s <= 0 or self.reconcile_period_s <= 0:
+            raise ConfigError("ingest job periods must be positive")
+        if self.prune_slack_s < 0:
+            raise ConfigError("prune_slack_s cannot be negative")
+
+
+@dataclass
 class PlatformConfig:
     """Top-level configuration for a MoDisSENSE deployment."""
 
@@ -318,6 +399,7 @@ class PlatformConfig:
     tracing: TracingConfig = field(default_factory=TracingConfig)
     faults: FaultsConfig = field(default_factory=FaultsConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
+    ingest: IngestConfig = field(default_factory=IngestConfig)
     #: Seed for all synthetic-data randomness; fixed for reproducibility.
     seed: int = 2015
 

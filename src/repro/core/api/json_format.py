@@ -113,6 +113,12 @@ REQUEST_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     "admin_cache": {
         "clear": (bool, False),
     },
+    "admin_ingest": {
+        "rebalance": (bool, False),
+        "reconcile": (bool, False),
+        "since": (int, False),
+        "until": (int, False),
+    },
     "explain": {
         "bbox": (list, False),
         "keywords": (list, False),

@@ -73,6 +73,7 @@ class RestApi:
             "admin_metrics": self._admin_metrics,
             "admin_traces": self._admin_traces,
             "admin_cache": self._admin_cache,
+            "admin_ingest": self._admin_ingest,
             "explain": self._explain,
         }
         #: Observability sinks: auto-wired from the platform (which owns
@@ -329,6 +330,41 @@ class RestApi:
                 ),
             },
         }
+
+    def _admin_ingest(self, req: Dict) -> Dict:
+        """Streaming-ingest tier state: queue depths, partition map,
+        counters, rebalance history and incremental-HotIn stats.
+
+        ``rebalance`` forces a load-aware repartition check outside the
+        scheduler's cadence; ``reconcile`` (with ``since``/``until``)
+        runs the verify-and-repair pass on demand — the operator's
+        answer to "is hotness drifting?".
+        """
+        ingest = getattr(self.platform, "ingest", None)
+        if ingest is None:
+            return {"enabled": False}
+        out: Dict[str, Any] = {"enabled": True}
+        if req.get("rebalance"):
+            out["rebalance"] = ingest.maybe_rebalance(force=True)
+        if req.get("reconcile"):
+            since = req.get("since")
+            until = req.get("until")
+            if since is None or until is None:
+                raise ValidationError(
+                    "reconcile requires 'since' and 'until'"
+                )
+            report = self.platform.reconcile_hotin(since, until)
+            out["reconcile"] = {
+                "window": list(report.window),
+                "visits_scanned": report.visits_scanned,
+                "pois_checked": report.pois_checked,
+                "mismatched": report.mismatched,
+                "repaired": report.repaired,
+                "pois_updated": report.pois_updated,
+                "in_sync": report.in_sync,
+            }
+        out["stats"] = ingest.stats()
+        return out
 
     def _admin_traces(self, req: Dict) -> Dict:
         """Recent span trees (newest first); ``slow`` selects the

@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PlatformConfig
 from ..datagen.gps import GPSPoint
+from ..errors import ValidationError
 from ..hbase import HBaseCluster, RegionScanCache
 from ..mapreduce import JobRunner
 from ..social import (
@@ -32,6 +33,8 @@ from .modules.query_answering import (
 )
 from .caching import HotPOICache
 from .faults import FaultInjector
+from .ingest import StreamingIngestTier
+from .modules.hotin_update import IncrementalHotIn, ReconcileReport
 from .monitoring import InstrumentedQueryAnswering, PlatformMetrics
 from .tracing import Tracer
 from .modules.text_processing import TextProcessingModule
@@ -163,6 +166,23 @@ class MoDisSENSE:
             runner=self.job_runner,
             num_mappers=self.config.cluster.total_cores,
         )
+        # ---- streaming ingest tier (off by default; see config.ingest)
+        #: Delta-maintained hotness/interest state; exists only when the
+        #: streaming tier is on (the batch MapReduce owns freshness
+        #: otherwise).
+        self.incremental_hotin: Optional[IncrementalHotIn] = None
+        self.ingest: Optional[StreamingIngestTier] = None
+        if self.config.ingest.enabled:
+            self.incremental_hotin = IncrementalHotIn()
+            self.ingest = StreamingIngestTier(
+                self.visits_repository,
+                self.poi_repository,
+                self.incremental_hotin,
+                config=self.config.ingest,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                hot_poi_cache=self.hot_poi_cache,
+            ).start()
         self.event_detection = EventDetectionModule(
             self.gps_repository, self.poi_repository, self.config.jobs
         )
@@ -208,6 +228,59 @@ class MoDisSENSE:
         cache epoch after the refresh lands."""
         report = self.hotin_update.run(since, until)
         if self.hot_poi_cache is not None:
+            self.hot_poi_cache.bump_epoch()
+        return report
+
+    # ------------------------------------------------- streaming ingest
+
+    def ingest_visit(self, visit) -> int:
+        """Submit one visit to the streaming ingest tier.
+
+        Returns the partition it was enqueued on.  Raises
+        :class:`~repro.errors.BackpressureError` when the partition's
+        bounded queue stays full — the visit is then *not* enqueued and
+        the caller owns the retry.  Requires ``config.ingest.enabled``.
+        """
+        if self.ingest is None:
+            raise ValidationError(
+                "streaming ingest is disabled (set config.ingest.enabled)"
+            )
+        return self.ingest.submit(visit)
+
+    def ingest_visits(self, visits) -> int:
+        """Submit many visits to the streaming tier; returns the count."""
+        if self.ingest is None:
+            raise ValidationError(
+                "streaming ingest is disabled (set config.ingest.enabled)"
+            )
+        return self.ingest.submit_many(visits)
+
+    def reconcile_hotin(self, since: int, until: int) -> ReconcileReport:
+        """Run the verify-and-repair pass over ``[since, until)``.
+
+        With streaming ingest on, this replaces the periodic batch HotIn
+        job: the MapReduce recompute becomes the source-of-truth check
+        against the incremental state, repairing any divergence and
+        re-anchoring the tier's aggregation window at ``since``.  Cached
+        non-personalized answers are invalidated whenever a repair
+        rewrote POI rows.
+        """
+        if self.ingest is None or self.incremental_hotin is None:
+            raise ValidationError(
+                "streaming ingest is disabled (set config.ingest.enabled)"
+            )
+        self.ingest.window_since = since
+        self.ingest.window_until = None
+        report = self.hotin_update.reconcile(
+            self.incremental_hotin, since, until
+        )
+        self.incremental_hotin.prune(
+            int(since - self.config.ingest.prune_slack_s)
+        )
+        # Folded WAL prefixes can never replay again; dropping them here
+        # bounds WAL memory to the un-folded suffix between reconciles.
+        self.ingest.compact_wals()
+        if report.pois_updated and self.hot_poi_cache is not None:
             self.hot_poi_cache.bump_epoch()
         return report
 
@@ -271,7 +344,9 @@ class MoDisSENSE:
         return count
 
     def shutdown(self) -> None:
-        """Release thread pools."""
+        """Release thread pools (draining the ingest tier first)."""
+        if self.ingest is not None:
+            self.ingest.stop(drain=True)
         self.hbase.shutdown()
         self.job_runner.shutdown()
 
@@ -294,4 +369,8 @@ class MoDisSENSE:
                 "enabled": self.scan_cache is not None,
                 "coalesce": self.config.cache.coalesce,
             },
+            "ingest": (
+                self.ingest.stats() if self.ingest is not None else
+                {"running": False}
+            ),
         }

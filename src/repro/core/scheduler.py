@@ -181,13 +181,32 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
         jobs.data_collection_period_s,
         lambda now: platform.collect(int(now)),
     )
-    scheduler.register(
-        "hotin_update",
-        jobs.hotin_update_period_s,
-        lambda now: platform.run_hotin(
-            int(now - jobs.hotin_window_s), int(now)
-        ),
-    )
+    if getattr(platform, "ingest", None) is not None:
+        # Streaming ingest keeps hotness fresh incrementally; the batch
+        # MapReduce is demoted to a periodic verify-and-repair pass, and
+        # the load-aware rebalancer gets its observation-window check.
+        ingest_cfg = platform.config.ingest
+        scheduler.register(
+            "hotin_reconcile",
+            ingest_cfg.reconcile_period_s,
+            lambda now: platform.reconcile_hotin(
+                int(now - jobs.hotin_window_s), int(now)
+            ),
+        )
+        if ingest_cfg.rebalance_enabled:
+            scheduler.register(
+                "ingest_rebalance",
+                ingest_cfg.rebalance_period_s,
+                lambda now: platform.ingest.maybe_rebalance(),
+            )
+    else:
+        scheduler.register(
+            "hotin_update",
+            jobs.hotin_update_period_s,
+            lambda now: platform.run_hotin(
+                int(now - jobs.hotin_window_s), int(now)
+            ),
+        )
     scheduler.register(
         "event_detection",
         jobs.event_detection_period_s,

@@ -79,6 +79,14 @@ class DegradedResultWarning(UserWarning):
     ``SearchResult.missing_regions`` / ``coverage`` for the specifics."""
 
 
+class BackpressureError(StorageError):
+    """The streaming ingest tier refused a write because its bounded
+    queue stayed full: either the partition's applier cannot keep up
+    (``shed`` policy rejects immediately) or a blocking producer's wait
+    budget expired.  No delta is lost — the rejected visit was never
+    enqueued, so the producer can retry or divert to a spill path."""
+
+
 class MapReduceError(ReproError):
     """A MapReduce job failed."""
 

@@ -9,7 +9,7 @@ slice of the table.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ColumnFamilyNotFoundError, StorageError
 from .cell import Cell
@@ -114,6 +114,47 @@ class Region:
         self.data_seqid += 1
         if store.should_flush:
             self.flush(cell.family)
+
+    def put_batch(self, cells: Sequence[Cell]) -> Tuple[int, int]:
+        """Write many cells as one group commit.
+
+        Equivalent to calling :meth:`put` per cell — same WAL records,
+        same memstore contents, same recovery — but the whole batch
+        shares ONE WAL sync boundary (:meth:`WriteAheadLog.append_batch`)
+        and each family's memstore absorbs its share in one sorted merge.
+        Every row is range-checked before anything is applied, matching
+        :meth:`mutate_batch`'s all-or-nothing-on-validation contract.
+
+        Returns the WAL ``(first_sequence, last_sequence)`` covering the
+        batch (``(0, 0)`` with no WAL attached or an empty batch); the
+        ingest tier uses it as its delta-fold watermark.  Flush checks
+        run once per family after the merge, so a batch may overshoot
+        the flush threshold by at most one batch — the deliberate price
+        of group commit.
+        """
+        if not cells:
+            return (0, 0)
+        for cell in cells:
+            if not self.contains_row(cell.row):
+                raise StorageError(
+                    "row %r outside region range [%r, %r)"
+                    % (cell.row, self.start_key, self.end_key)
+                )
+            self._memstore(cell.family)  # family must exist pre-WAL
+        seq_range = (0, 0)
+        if self.wal is not None:
+            seq_range = self.wal.append_batch(cells)
+        by_family: Dict[str, List[Cell]] = {}
+        for cell in cells:
+            by_family.setdefault(cell.family, []).append(cell)
+        for family, group in by_family.items():
+            self._memstore(family).put_batch(group)
+        self.write_count += len(cells)
+        self.data_seqid += len(cells)
+        for family in by_family:
+            if self._memstores[family].should_flush:
+                self.flush(family)
+        return seq_range
 
     def delete(self, row: bytes, family: str, qualifier: bytes, timestamp: int) -> None:
         """Write a tombstone shadowing versions up to ``timestamp``."""

@@ -114,6 +114,30 @@ class HTable:
         for cell in cells:
             self.put(cell)
 
+    def put_batch(self, cells: Sequence[Cell]) -> Dict[Region, tuple]:
+        """Group-commit puts, routed once per batch.
+
+        Cells are grouped by owning region (one bisect per cell, no
+        per-put ``_maybe_split`` bookkeeping) and each region applies
+        its share via :meth:`Region.put_batch` — one WAL sync and one
+        memstore merge per region instead of one per cell.  Returns
+        ``{region: (first_wal_seq, last_wal_seq)}`` so callers tracking
+        fold watermarks (the ingest tier) know what landed where.
+        Whole-batch validation mirrors :meth:`mutate_batch`.
+        """
+        grouped: Dict[int, List[Cell]] = {}
+        region_by_id: Dict[int, Region] = {}
+        for cell in cells:
+            region = self.region_for_row(cell.row)
+            grouped.setdefault(region.region_id, []).append(cell)
+            region_by_id[region.region_id] = region
+        applied: Dict[Region, tuple] = {}
+        for region_id, batch in grouped.items():
+            region = region_by_id[region_id]
+            applied[region] = region.put_batch(batch)
+            self._maybe_split(region, batch[0].family)
+        return applied
+
     def delete(self, row: bytes, family: str, qualifier: bytes, timestamp: int) -> None:
         self.region_for_row(row).delete(row, family, qualifier, timestamp)
 

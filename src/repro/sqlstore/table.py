@@ -81,13 +81,21 @@ class HeapTable:
             raise SchemaError(
                 "duplicate primary key %r in table %r" % (new_pk, self.schema.name)
             )
-        for index in self._indexes.values():
+        # Only touch indexes whose keyed columns actually changed (the
+        # moral equivalent of PostgreSQL's HOT update): a hotness bump
+        # must not delete and re-insert the row in the spatial R-tree.
+        touched = [
+            index
+            for index in self._indexes.values()
+            if self._index_key(index, old) != self._index_key(index, validated)
+        ]
+        for index in touched:
             self._index_remove(index, old, rid)
         if new_pk != old_pk:
             self._pk_index.remove(old_pk, rid)
             self._pk_index.insert(new_pk, rid)
         self._rows[rid] = validated
-        for index in self._indexes.values():
+        for index in touched:
             self._index_insert(index, validated, rid)
 
     def delete(self, rid: int) -> None:

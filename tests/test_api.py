@@ -207,7 +207,8 @@ class TestEndpoints:
         assert "explain" in endpoints
         assert "admin_traces" in endpoints
         assert "admin_cache" in endpoints
-        assert len(endpoints) == 15
+        assert "admin_ingest" in endpoints
+        assert len(endpoints) == 16
 
     def test_explain_endpoint(self, api):
         rest, p = api

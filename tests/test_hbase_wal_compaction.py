@@ -60,6 +60,167 @@ class TestWriteAheadLog:
         assert not forged.is_valid()
 
 
+class TestGroupCommit:
+    """The streaming tier's batched write path: one WAL sync boundary
+    per batch, but recovery must be indistinguishable from single puts."""
+
+    def test_append_batch_is_one_sync_boundary(self):
+        wal = WriteAheadLog()
+        first, last = wal.append_batch([cell(b"a"), cell(b"b"), cell(b"c")])
+        assert (last - first + 1) == 3
+        assert len(wal) == 3
+        assert wal.sync_count == 1  # the group commit
+
+        single = WriteAheadLog()
+        for row in (b"a", b"b", b"c"):
+            single.append(cell(row))
+        assert single.sync_count == 3  # one fsync-equivalent per put
+
+    def test_empty_batch_is_a_noop(self):
+        wal = WriteAheadLog()
+        assert wal.append_batch([]) == (0, 0)
+        assert wal.sync_count == 0
+        assert len(wal) == 0
+
+    def test_batched_replay_identical_to_single_puts_after_crash(self):
+        rows = [b"row%02d" % i for i in range(8)]
+        cells = [cell(r, ts=i + 1, value=b"v%d" % i) for i, r in enumerate(rows)]
+
+        single_wal = WriteAheadLog()
+        single_region = Region(families=["f"], wal=single_wal)
+        for c in cells:
+            single_region.put(c)
+
+        batched_wal = WriteAheadLog()
+        batched_region = Region(families=["f"], wal=batched_wal)
+        batched_region.put_batch(cells)
+
+        # Crash both: memstores lost, WALs survive.  Replay must agree
+        # record-for-record regardless of how the writes were committed.
+        replayed_single = [(c.row, c.timestamp, c.value)
+                           for c in single_wal.replay()]
+        replayed_batched = [(c.row, c.timestamp, c.value)
+                            for c in batched_wal.replay()]
+        assert replayed_batched == replayed_single
+
+        recovered = Region.recover(batched_wal, families=["f"])
+        for i, r in enumerate(rows):
+            assert recovered.get(r, "f", b"q") == b"v%d" % i
+
+    def test_torn_tail_in_batch_loses_only_final_record(self):
+        wal = WriteAheadLog()
+        region = Region(families=["f"], wal=wal)
+        region.put_batch([cell(b"a"), cell(b"b"), cell(b"c")])
+        wal.corrupt_tail()
+        recovered = Region.recover(wal, families=["f"])
+        assert recovered.get(b"a", "f", b"q") == b"v"
+        assert recovered.get(b"b", "f", b"q") == b"v"
+        assert recovered.get(b"c", "f", b"q") is None
+
+    def test_records_after_watermark(self):
+        wal = WriteAheadLog()
+        seqs = [wal.append(cell(b"r%d" % i)) for i in range(5)]
+        watermark = seqs[1]
+        tail = list(wal.records_after(watermark))
+        assert [rec.sequence for rec in tail] == seqs[2:]
+        # A torn tail ends the iteration early rather than yielding junk.
+        wal.corrupt_tail()
+        assert [rec.sequence for rec in wal.records_after(watermark)] == seqs[2:-1]
+
+    def test_put_batch_validates_before_any_effect(self):
+        wal = WriteAheadLog()
+        region = Region(families=["f"], wal=wal)
+        bad = [cell(b"ok"), Cell(row=b"bad", family="nope", qualifier=b"q",
+                                 timestamp=1, value=b"v")]
+        with pytest.raises(StorageError):
+            region.put_batch(bad)
+        # All-or-nothing: the valid cell must not have half-applied.
+        assert len(wal) == 0
+        assert region.get(b"ok", "f", b"q") is None
+
+    def test_put_batch_counts_and_seqid(self):
+        region = Region(families=["f"], wal=WriteAheadLog())
+        before = region.data_seqid
+        region.put_batch([cell(b"a"), cell(b"b")])
+        assert region.write_count == 2
+        assert region.data_seqid == before + 2
+
+    def test_batch_duplicate_rows_last_wins(self):
+        region = Region(families=["f"], wal=WriteAheadLog())
+        region.put_batch([cell(b"dup", ts=1, value=b"first"),
+                          cell(b"dup", ts=1, value=b"second")])
+        assert region.get(b"dup", "f", b"q") == b"second"
+
+    def test_batch_merges_with_existing_memstore(self):
+        region = Region(families=["f"], wal=WriteAheadLog())
+        region.put(cell(b"b", value=b"old-b"))
+        region.put(cell(b"d", value=b"old-d"))
+        region.put_batch([cell(b"a", value=b"new-a"),
+                          cell(b"b", value=b"new-b"),
+                          cell(b"e", value=b"new-e")])
+        assert region.get(b"a", "f", b"q") == b"new-a"
+        assert region.get(b"b", "f", b"q") == b"new-b"  # replaced
+        assert region.get(b"d", "f", b"q") == b"old-d"  # untouched
+        assert region.get(b"e", "f", b"q") == b"new-e"
+        scanned = [c.row for c in region.scan("f")]
+        assert scanned == sorted(scanned)  # memstore order survives merge
+
+
+class TestMemStoreSegments:
+    """Lazy segment consolidation must be invisible to readers."""
+
+    def _memstore(self):
+        from repro.hbase.memstore import MemStore
+
+        return MemStore()
+
+    def test_put_after_put_batch_wins_on_same_key(self):
+        store = self._memstore()
+        store.put_batch([cell(b"k", ts=1, value=b"batched"),
+                         cell(b"m", ts=1)])
+        store.put(cell(b"k", ts=1, value=b"later-single"))
+        cells = store.snapshot()
+        assert [c.row for c in cells] == [b"k", b"m"]
+        assert cells[0].value == b"later-single"
+
+    def test_cross_batch_duplicates_last_wins(self):
+        store = self._memstore()
+        store.put_batch([cell(b"k", ts=1, value=b"one"),
+                         cell(b"a", ts=1)])
+        store.put_batch([cell(b"k", ts=1, value=b"two"),
+                         cell(b"z", ts=1)])
+        store.put_batch([cell(b"k", ts=1, value=b"three")])
+        assert len(store) == 3  # a, k, z after consolidation
+        snap = {c.row: c.value for c in store.snapshot()}
+        assert snap[b"k"] == b"three"
+
+    def test_scan_consolidates_and_bounds(self):
+        store = self._memstore()
+        store.put(cell(b"b", ts=1))
+        store.put_batch([cell(b"d", ts=1), cell(b"a", ts=1),
+                         cell(b"c", ts=1)])
+        rows = [c.row for c in store.scan(start_row=b"b", stop_row=b"d")]
+        assert rows == [b"b", b"c"]
+        assert [c.row for c in store.scan()] == [b"a", b"b", b"c", b"d"]
+
+    def test_segments_match_sequential_puts(self):
+        import random
+
+        rng = random.Random(5)
+        rows = [b"%03d" % rng.randrange(60) for _ in range(200)]
+        sequential, segmented = self._memstore(), self._memstore()
+        for i, row in enumerate(rows):
+            sequential.put(cell(row, ts=1, value=b"%d" % i))
+        batched = [cell(row, ts=1, value=b"%d" % i)
+                   for i, row in enumerate(rows)]
+        for start in range(0, len(batched), 16):
+            segmented.put_batch(batched[start:start + 16])
+        want = [(c.row, c.value) for c in sequential.snapshot()]
+        got = [(c.row, c.value) for c in segmented.snapshot()]
+        assert got == want
+        assert segmented.size_bytes == sequential.size_bytes
+
+
 class TestCrashRecovery:
     def test_unflushed_writes_recovered(self):
         wal = WriteAheadLog()

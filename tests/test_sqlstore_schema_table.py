@@ -162,6 +162,41 @@ class TestHeapTable:
         assert spatial.search_bbox(BoundingBox(37, 23, 38, 24)) == set()
         assert spatial.search_bbox(BoundingBox(39, 21, 41, 23)) == {rid}
 
+    def test_update_skips_indexes_on_unchanged_columns(self):
+        """A hotness bump must not churn the spatial R-tree (the HOT
+        update path the ingest tier's dirty-POI refresh rides on)."""
+        table = HeapTable(poi_schema())
+        table.create_index(SpatialIndex("lat", "lon"))
+        table.create_index(OrderedIndex("hotness"))
+        rid = table.insert(row(poi_id=1, lat=37.5, lon=23.5, hotness=1.0))
+        spatial = table.spatial_index()
+
+        calls = {"remove": 0, "insert": 0}
+        real_remove, real_insert = spatial.remove, spatial.insert
+
+        def counting_remove(key, r):
+            calls["remove"] += 1
+            return real_remove(key, r)
+
+        def counting_insert(key, r):
+            calls["insert"] += 1
+            return real_insert(key, r)
+
+        spatial.remove, spatial.insert = counting_remove, counting_insert
+        try:
+            table.update(rid, {"hotness": 9.0})
+            assert calls == {"remove": 0, "insert": 0}
+            # The changed column's index IS maintained.
+            assert table.index_for_column("hotness").lookup(9.0) == {rid}
+            # A genuine move still rewrites the spatial entry.
+            table.update(rid, {"lat": 40.0})
+            assert calls == {"remove": 1, "insert": 1}
+        finally:
+            spatial.remove, spatial.insert = real_remove, real_insert
+        from repro.geo import BoundingBox
+
+        assert spatial.search_bbox(BoundingBox(39, 23, 41, 24)) == {rid}
+
     def test_scan_returns_copies(self):
         table = HeapTable(poi_schema())
         table.insert(row(poi_id=1))
