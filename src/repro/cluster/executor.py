@@ -13,6 +13,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
 from ..errors import CoprocessorError
+from .. import threadreg
 
 
 class ParallelExecutor:
@@ -20,19 +21,35 @@ class ParallelExecutor:
 
     ``map_ordered`` preserves input order, which the query-answering
     module relies on to pair region results with region metadata.
+
+    ``component`` names the pool in the :mod:`repro.threadreg` registry:
+    every worker registers itself on first use, so the continuous
+    profiler attributes its samples to the owning subsystem ("fanout"
+    for the HBase fan-out pool, "mapreduce" for the job runner).
     """
 
-    def __init__(self, max_workers: int = 8) -> None:
+    def __init__(
+        self, max_workers: int = 8, component: Optional[str] = None
+    ) -> None:
         self._max_workers = max(1, max_workers)
+        self._component = component
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+
+    def _register_worker(self) -> None:
+        # ThreadPoolExecutor initializer: runs once per worker thread.
+        if self._component is not None:
+            threadreg.register_current_thread(self._component)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         # Locked: concurrent first callers (coalesced query herds hit
         # this) must not each create a pool and leak the loser's threads.
         with self._pool_lock:
             if self._pool is None:
-                self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    initializer=self._register_worker,
+                )
             return self._pool
 
     def map_ordered(self, fn: Callable, items: Sequence) -> List:

@@ -9,7 +9,7 @@ same knobs in one validated place so experiments can sweep them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from .errors import ConfigError
 
@@ -389,6 +389,186 @@ class IngestConfig:
             raise ConfigError("prune_slack_s cannot be negative")
 
 
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative service-level objective.
+
+    Evaluated by :class:`repro.core.telemetry.slo.SLOEngine` as
+    multi-window burn rates: the fast window catches sudden breakage
+    (page), the slow window catches sustained slow bleed (ticket).
+
+    Two kinds:
+
+    - ``"ratio"``: ``bad_series`` / ``total_series`` counter deltas over
+      each window (e.g. missing regions over used regions);
+    - ``"threshold"``: the share of window scrape samples where
+      ``series`` violates ``threshold`` (``direction="le"`` means
+      healthy when the value stays at or below the bound, ``"ge"`` when
+      at or above it).
+    """
+
+    name: str
+    kind: str  # "ratio" | "threshold"
+    #: Objective: the good fraction must stay >= target; the error
+    #: budget is ``1 - target``.
+    target: float
+    description: str = ""
+    # ---- ratio kind ----
+    bad_series: Optional[str] = None
+    total_series: Optional[str] = None
+    # ---- threshold kind ----
+    series: Optional[str] = None
+    threshold: Optional[float] = None
+    direction: str = "le"
+    # ---- burn-rate windows (simulated seconds) ----
+    fast_window_s: float = 60.0
+    slow_window_s: float = 600.0
+    critical_burn: float = 8.0
+    warning_burn: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ratio", "threshold"):
+            raise ConfigError(
+                "SLO kind must be 'ratio' or 'threshold', got %r" % self.kind
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ConfigError("SLO target must be in (0, 1)")
+        if self.kind == "ratio" and not (self.bad_series and self.total_series):
+            raise ConfigError(
+                "ratio SLO %r needs bad_series and total_series" % self.name
+            )
+        if self.kind == "threshold" and (
+            self.series is None or self.threshold is None
+        ):
+            raise ConfigError(
+                "threshold SLO %r needs series and threshold" % self.name
+            )
+        if self.direction not in ("le", "ge"):
+            raise ConfigError("SLO direction must be 'le' or 'ge'")
+        if self.fast_window_s <= 0 or self.slow_window_s <= 0:
+            raise ConfigError("SLO windows must be positive")
+        if self.fast_window_s > self.slow_window_s:
+            raise ConfigError("fast_window_s must not exceed slow_window_s")
+        if self.critical_burn <= 0 or self.warning_burn <= 0:
+            raise ConfigError("SLO burn thresholds must be positive")
+
+
+def default_slos() -> Tuple[SLOSpec, ...]:
+    """The platform's five stock SLOs (tune or replace per deployment)."""
+    return (
+        SLOSpec(
+            name="personalized_p99_latency",
+            kind="threshold",
+            series="query.personalized:p99",
+            threshold=1000.0,
+            direction="le",
+            target=0.99,
+            description="p99 personalized-query latency stays under 1 s "
+                        "(the paper's Figure-2 headline).",
+        ),
+        SLOSpec(
+            name="ingest_freshness",
+            kind="threshold",
+            series="ingest.freshness_age_s",
+            threshold=0.5,
+            direction="le",
+            target=0.99,
+            description="Applied-but-unpublished hotness is at most "
+                        "0.5 s old (the PR-5 freshness SLO, now watched "
+                        "in production rather than only in a bench).",
+        ),
+        SLOSpec(
+            name="fanout_coverage",
+            kind="ratio",
+            bad_series="regions.missing",
+            total_series="regions.used",
+            target=0.999,
+            description="Invoked regions that never answered within the "
+                        "retry/hedge budget.",
+        ),
+        SLOSpec(
+            name="degraded_query_rate",
+            kind="ratio",
+            bad_series="queries.degraded",
+            total_series="queries.personalized",
+            target=0.99,
+            description="Personalized queries answered from partial "
+                        "results.",
+        ),
+        SLOSpec(
+            name="backpressure_shed_rate",
+            kind="ratio",
+            bad_series="ingest.shed",
+            total_series="ingest.submitted",
+            target=0.999,
+            description="Ingest writes shed by full partition queues.",
+        ),
+    )
+
+
+@dataclass
+class TelemetryConfig:
+    """Knobs of the telemetry pipeline (``repro.core.telemetry``).
+
+    **On by default**: the pipeline only observes (scrapes, samples,
+    events), so query answers are byte-identical with it on or off; the
+    ``obs-smoke`` CI job gates measured overhead at ≤10%.  Set
+    ``enabled=False`` to construct no hub at all.
+
+    The scrape job fires on the platform scheduler's *simulated* clock
+    with ``catch_up=False``: advancing a whole simulated day costs one
+    scrape, not 86 400.
+    """
+
+    enabled: bool = True
+    #: Simulated seconds between scheduler scrapes of the registry.
+    scrape_period_s: float = 1.0
+    #: Raw samples kept per series.
+    base_samples: int = 720
+    #: Rollup bucket widths, seconds (1s → 10s → 1m).
+    rollup_resolutions: Tuple[float, ...] = (1.0, 10.0, 60.0)
+    #: Buckets kept per rollup resolution per series.
+    rollup_buckets: int = 360
+    #: Wide-event ring capacity (routine events).
+    event_capacity: int = 512
+    #: Always-kept ring capacity (slow/degraded/errored/alerts).
+    interesting_capacity: int = 256
+    #: Keep 1-in-N routine events per type (1 = keep everything);
+    #: interesting events always bypass sampling.
+    event_sample_every: int = 4
+    #: Arms the continuous sampling profiler.
+    profiler_enabled: bool = True
+    #: Wall seconds between profiler samples (0.02 = 50 Hz).
+    profiler_interval_s: float = 0.02
+    #: Stack frames walked per sampled thread.
+    profiler_max_depth: int = 48
+    #: Declarative SLOs the health engine evaluates.
+    slos: Tuple[SLOSpec, ...] = field(default_factory=default_slos)
+
+    def __post_init__(self) -> None:
+        if self.scrape_period_s <= 0:
+            raise ConfigError("scrape_period_s must be positive")
+        if self.base_samples < 2:
+            raise ConfigError("base_samples must be >= 2")
+        if not self.rollup_resolutions or any(
+            r <= 0 for r in self.rollup_resolutions
+        ):
+            raise ConfigError("rollup_resolutions must be positive")
+        if self.rollup_buckets < 1:
+            raise ConfigError("rollup_buckets must be >= 1")
+        if self.event_capacity < 1 or self.interesting_capacity < 1:
+            raise ConfigError("event capacities must be >= 1")
+        if self.event_sample_every < 1:
+            raise ConfigError("event_sample_every must be >= 1")
+        if self.profiler_interval_s <= 0:
+            raise ConfigError("profiler_interval_s must be positive")
+        if self.profiler_max_depth < 1:
+            raise ConfigError("profiler_max_depth must be >= 1")
+        names = [spec.name for spec in self.slos]
+        if len(names) != len(set(names)):
+            raise ConfigError("SLO names must be unique")
+
+
 @dataclass
 class PlatformConfig:
     """Top-level configuration for a MoDisSENSE deployment."""
@@ -400,6 +580,7 @@ class PlatformConfig:
     faults: FaultsConfig = field(default_factory=FaultsConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     ingest: IngestConfig = field(default_factory=IngestConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     #: Seed for all synthetic-data randomness; fixed for reproducibility.
     seed: int = 2015
 

@@ -109,6 +109,26 @@ REQUEST_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     "admin_traces": {
         "limit": (int, False),
         "slow": (bool, False),
+        "slow_threshold_ms": ((int, float), False),
+    },
+    "admin_timeseries": {
+        "name": (str, False),
+        "prefix": (str, False),
+        "resolution": ((int, float), False),
+        "since": ((int, float), False),
+        "until": ((int, float), False),
+        "limit": (int, False),
+    },
+    "admin_health": {},
+    "admin_profile": {
+        "limit": (int, False),
+        "component": (str, False),
+        "reset": (bool, False),
+    },
+    "admin_events": {
+        "type": (str, False),
+        "interesting": (bool, False),
+        "limit": (int, False),
     },
     "admin_cache": {
         "clear": (bool, False),

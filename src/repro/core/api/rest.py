@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Tuple, Type
 
+from ... import threadreg
 from ...datagen.gps import GPSPoint
 from ...errors import (
     AuthenticationError,
@@ -74,6 +75,10 @@ class RestApi:
             "admin_traces": self._admin_traces,
             "admin_cache": self._admin_cache,
             "admin_ingest": self._admin_ingest,
+            "admin_timeseries": self._admin_timeseries,
+            "admin_health": self._admin_health,
+            "admin_profile": self._admin_profile,
+            "admin_events": self._admin_events,
             "explain": self._explain,
         }
         #: Observability sinks: auto-wired from the platform (which owns
@@ -84,6 +89,9 @@ class RestApi:
 
     def handle(self, endpoint: str, request: Dict[str, Any]) -> Dict[str, Any]:
         """Dispatch one request; always returns a response envelope."""
+        # Attribute profiler samples taken during this request to the
+        # REST tier (restores the caller's component on the way out).
+        previous_component = threadreg.push_component("rest")
         try:
             handler = self._routes.get(endpoint)
             if handler is None:
@@ -107,6 +115,8 @@ class RestApi:
                     labels={"endpoint": endpoint, "code": code},
                 )
             return ApiResponse.fail(str(exc), code=code).as_dict()
+        finally:
+            threadreg.pop_component(previous_component)
 
     def handle_json(self, endpoint: str, body: str) -> str:
         """Wire-format variant: JSON string in, JSON string out.
@@ -368,15 +378,106 @@ class RestApi:
 
     def _admin_traces(self, req: Dict) -> Dict:
         """Recent span trees (newest first); ``slow`` selects the
-        slow-query log instead of the main ring buffer."""
+        slow-query log instead of the main ring buffer.
+
+        ``slow_threshold_ms`` retunes the slow-query log's cutoff at
+        runtime (subsequent traces only; the startup default comes from
+        ``TracingConfig.slow_query_threshold_ms``)."""
         if self._tracer is None:
             return {"traces": [], "tracing": {"enabled": False}}
+        threshold = req.get("slow_threshold_ms")
+        if threshold is not None:
+            if threshold < 0:
+                raise ValidationError(
+                    "slow_threshold_ms cannot be negative"
+                )
+            self._tracer.slow_threshold_ms = float(threshold)
         limit = req.get("limit")
         if req.get("slow"):
             traces = self._tracer.slow_queries(limit)
         else:
             traces = self._tracer.recent_traces(limit)
         return {"traces": traces, "tracing": self._tracer.describe()}
+
+    def _admin_timeseries(self, req: Dict) -> Dict:
+        """Scraped metric history from the telemetry store.
+
+        With ``name``: that series' samples — raw ``[t, value]`` pairs
+        by default, or ``[bucket, count, sum, min, max, last]`` rollup
+        rows when ``resolution`` selects one.  Without ``name``: the
+        series directory (optionally filtered by ``prefix``).
+        """
+        telemetry = getattr(self.platform, "telemetry", None)
+        if telemetry is None:
+            return {"enabled": False}
+        store = telemetry.store
+        name = req.get("name")
+        if name is None:
+            return {
+                "enabled": True,
+                "series": store.names(prefix=req.get("prefix")),
+                "store": store.describe(),
+            }
+        return {
+            "enabled": True,
+            "name": name,
+            "kind": store.kind_of(name),
+            "resolution": req.get("resolution"),
+            "samples": store.query(
+                name,
+                resolution=req.get("resolution"),
+                since=req.get("since"),
+                until=req.get("until"),
+                limit=req.get("limit"),
+            ),
+        }
+
+    def _admin_health(self, req: Dict) -> Dict:
+        """SLO-driven health verdict: overall state plus per-SLO burn
+        rates and remaining error budget."""
+        telemetry = getattr(self.platform, "telemetry", None)
+        if telemetry is None:
+            return {"enabled": False, "state": "healthy", "slos": []}
+        out = telemetry.health()
+        out["enabled"] = True
+        return out
+
+    def _admin_profile(self, req: Dict) -> Dict:
+        """Continuous-profiler snapshot: folded flamegraph stacks plus
+        per-component attribution.  ``reset`` clears accumulated samples
+        after reading (profile-per-experiment workflows)."""
+        telemetry = getattr(self.platform, "telemetry", None)
+        profiler = (
+            telemetry.profiler if telemetry is not None else None
+        )
+        if profiler is None:
+            return {"enabled": False}
+        out = {
+            "enabled": True,
+            "stats": profiler.stats(),
+            "folded": profiler.folded(
+                limit=req.get("limit"), component=req.get("component")
+            ),
+        }
+        if req.get("reset"):
+            profiler.reset()
+        return out
+
+    def _admin_events(self, req: Dict) -> Dict:
+        """Wide-event log: tail-sampled canonical events, newest first;
+        ``interesting`` restricts to the always-kept ring."""
+        telemetry = getattr(self.platform, "telemetry", None)
+        if telemetry is None:
+            return {"enabled": False, "events": []}
+        return {
+            "enabled": True,
+            "events": telemetry.events.query(
+                event_type=req.get("type"),
+                interesting_only=bool(req.get("interesting")),
+                limit=req.get("limit"),
+            ),
+            "stats": telemetry.events.stats(),
+        }
 
     def _friends(self, req: Dict) -> Dict:
         user_id = req["user_id"]

@@ -122,11 +122,16 @@ class HotPOICache:
         self,
         max_entries: int = 256,
         metrics: Optional[Any] = None,
+        event_log: Optional[Any] = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._metrics = metrics
+        #: Optional wide-event log: epoch bumps (mass invalidations)
+        #: become ``cache.epoch_bump`` events so a sudden hot-POI
+        #: hit-rate collapse has a visible cause on the timeline.
+        self.event_log = event_log
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, Tuple[int, int, Any]]" = (
             OrderedDict()
@@ -147,12 +152,22 @@ class HotPOICache:
         epoch and can no longer be served.  Returns the new epoch."""
         with self._lock:
             self._epoch += 1
+            epoch = self._epoch
             stale = len(self._entries)
             self._entries.clear()
             if stale:
                 self._invalidations += stale
                 self._emit("cache.invalidations", stale)
-            return self._epoch
+        if self.event_log is not None:
+            self.event_log.emit(
+                {
+                    "type": "cache.epoch_bump",
+                    "cache": "hot_poi",
+                    "epoch": epoch,
+                    "invalidated": stale,
+                }
+            )
+        return epoch
 
     def get(self, key: Hashable, version: int) -> Optional[Any]:
         """The cached rows for ``key`` if stamped with the current epoch

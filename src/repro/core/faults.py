@@ -98,6 +98,10 @@ class FaultInjector:
         self._schedule: Dict[int, List[Tuple[str, int]]] = {}
         #: Applied schedule actions, for assertions and debugging.
         self.events: List[Tuple[int, str, int]] = []
+        #: Optional wide-event log: applied schedule actions become
+        #: ``fault.injected`` events (always kept) so an incident
+        #: timeline shows *why* a node died mid-drill.
+        self.event_log: Optional[Any] = None
 
     # ------------------------------------------------------------- state
 
@@ -133,6 +137,16 @@ class FaultInjector:
             due = self._schedule.pop(epoch, [])
         for action, node_id in due:
             self.events.append((epoch, action, node_id))
+            if self.event_log is not None:
+                self.event_log.emit(
+                    {
+                        "type": "fault.injected",
+                        "epoch": epoch,
+                        "action": action,
+                        "node": node_id,
+                    },
+                    keep=True,
+                )
             if cluster is None:
                 continue
             if action == "fail":

@@ -57,6 +57,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..config import IngestConfig
 from ..errors import BackpressureError, ValidationError
 from ..hbase.wal import WriteAheadLog
+from .. import threadreg
 from .modules.hotin_update import IncrementalHotIn
 from .repositories.visits import VisitStruct, VisitsRepository
 from .tracing import NULL_TRACER
@@ -72,6 +73,8 @@ class _PartitionQueue:
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
+        #: Entries are ``(enqueue_instant, item)`` so the dequeue side
+        #: can account queue wait per batch.
         self._items: deque = deque()
         self._cond = threading.Condition()
 
@@ -84,7 +87,7 @@ class _PartitionQueue:
         """
         with self._cond:
             if len(self._items) < self.capacity:
-                self._items.append(item)
+                self._items.append((time.monotonic(), item))
                 self._cond.notify_all()
                 return False
             if not block:
@@ -100,22 +103,35 @@ class _PartitionQueue:
                         % (self.capacity, timeout_s)
                     )
                 self._cond.wait(remaining)
-            self._items.append(item)
+            self._items.append((time.monotonic(), item))
             self._cond.notify_all()
             return True
 
     def take_batch(self, max_batch: int, wait_s: float) -> List[Any]:
         """Dequeue up to ``max_batch`` items, waiting up to ``wait_s``
         for the first; wakes blocked producers after freeing space."""
+        return self.take_batch_timed(max_batch, wait_s)[0]
+
+    def take_batch_timed(
+        self, max_batch: int, wait_s: float
+    ) -> Tuple[List[Any], float]:
+        """:meth:`take_batch` plus the batch's maximum queue wait in
+        seconds (the oldest dequeued item's age)."""
         with self._cond:
             if not self._items:
                 self._cond.wait(wait_s)
             if not self._items:
-                return []
+                return [], 0.0
             take = min(max_batch, len(self._items))
-            batch = [self._items.popleft() for _ in range(take)]
+            now = time.monotonic()
+            queue_wait_s = 0.0
+            batch = []
+            for _ in range(take):
+                enqueued_at, item = self._items.popleft()
+                queue_wait_s = max(queue_wait_s, now - enqueued_at)
+                batch.append(item)
             self._cond.notify_all()
-            return batch
+            return batch, queue_wait_s
 
     def depth(self) -> int:
         with self._cond:
@@ -139,6 +155,7 @@ class StreamingIngestTier:
         metrics: Optional[Any] = None,
         tracer: Optional[Any] = None,
         hot_poi_cache: Optional[Any] = None,
+        event_log: Optional[Any] = None,
     ) -> None:
         self.visits = visits_repository
         self.pois = poi_repository
@@ -147,6 +164,9 @@ class StreamingIngestTier:
         self.metrics = metrics
         self.tracer = tracer or NULL_TRACER
         self.hot_poi_cache = hot_poi_cache
+        #: Optional wide-event log: one canonical event per applied
+        #: batch with the full cost account (size, regions, queue wait).
+        self.event_log = event_log
 
         cfg = self.config
         self._queues = [
@@ -347,18 +367,21 @@ class StreamingIngestTier:
     # ----------------------------------------------------------- appliers
 
     def _applier_loop(self, partition: int) -> None:
+        threadreg.register_current_thread("ingest")
         queue = self._queues[partition]
         max_batch = self.config.max_batch
         while True:
             with self._lock:
                 if not self._running:
                     break
-            batch = queue.take_batch(max_batch, wait_s=0.05)
+            batch, queue_wait_s = queue.take_batch_timed(
+                max_batch, wait_s=0.05
+            )
             if not batch:
                 continue
             self._inflight[partition] = len(batch)
             try:
-                self._apply_batch(partition, batch)
+                self._apply_batch(partition, batch, queue_wait_s)
             except _InjectedApplierCrash:
                 self._crashed[partition] = True
                 self._emit_counter("ingest.applier_crashes")
@@ -372,17 +395,19 @@ class StreamingIngestTier:
                 if not self._crashed[partition]:
                     self._inflight[partition] = 0
         # Final sweep so stop(drain=True) never strands a tail batch.
-        batch = queue.take_batch(max_batch, wait_s=0.0)
+        batch, queue_wait_s = queue.take_batch_timed(max_batch, wait_s=0.0)
         while batch:
             self._inflight[partition] = len(batch)
             try:
-                self._apply_batch(partition, batch)
+                self._apply_batch(partition, batch, queue_wait_s)
             except Exception:
                 with self._lock:
                     self.apply_errors += 1
             finally:
                 self._inflight[partition] = 0
-            batch = queue.take_batch(max_batch, wait_s=0.0)
+            batch, queue_wait_s = queue.take_batch_timed(
+                max_batch, wait_s=0.0
+            )
 
     def _region_lock(self, region_id: int) -> threading.Lock:
         with self._lock:
@@ -392,12 +417,17 @@ class StreamingIngestTier:
             return lock
 
     def _apply_batch(
-        self, partition: int, batch: Sequence[VisitStruct]
+        self,
+        partition: int,
+        batch: Sequence[VisitStruct],
+        queue_wait_s: float = 0.0,
     ) -> None:
         wall_start = time.perf_counter()
         span = self.tracer.span(
             "ingest.batch", partition=partition, size=len(batch)
         )
+        error: Optional[str] = None
+        regions_touched = 0
         try:
             # 1. Group commit per region: one WAL sync + one memstore
             #    merge each.  Routing happens at apply time, so a region
@@ -452,19 +482,37 @@ class StreamingIngestTier:
                     "ingest.batch_wall",
                     (time.perf_counter() - wall_start) * 1e3,
                     labels={"partition": partition},
+                    exemplar=span.trace_id,
                 )
                 self.metrics.set_gauge(
                     "ingest.watermark", self.incremental.watermark
                 )
-            span.tag("regions", len(groups))
+            regions_touched = len(groups)
+            span.tag("regions", regions_touched)
         except _InjectedApplierCrash:
-            span.tag("error", "applier_crash")
+            error = "applier_crash"
+            span.tag("error", error)
             raise
         except Exception as exc:
-            span.tag("error", type(exc).__name__)
+            error = type(exc).__name__
+            span.tag("error", error)
             raise
         finally:
             span.finish()
+            if self.event_log is not None:
+                self.event_log.emit(
+                    {
+                        "type": "ingest.batch",
+                        "trace_id": span.trace_id,
+                        "partition": partition,
+                        "size": len(batch),
+                        "regions": regions_touched,
+                        "queue_wait_ms": queue_wait_s * 1e3,
+                        "wall_ms": (time.perf_counter() - wall_start) * 1e3,
+                        "watermark": self.incremental.watermark,
+                        "error": error,
+                    }
+                )
 
     def _maybe_refresh_dirty_pois(self) -> int:
         """Interval-gated :meth:`_refresh_dirty_pois`.
@@ -479,6 +527,30 @@ class StreamingIngestTier:
             if time.monotonic() - self._last_refresh < interval:
                 return 0
         return self._refresh_dirty_pois()
+
+    def freshness_age_s(self) -> float:
+        """How stale query-visible hotness is, in wall seconds.
+
+        0.0 when every folded delta has been published to the SQL tier
+        (nothing dirty, nothing queued, nothing in flight) — an idle
+        system is perfectly fresh, not infinitely stale.  Otherwise the
+        age of the last dirty-POI push, which is exactly how long the
+        oldest unpublished delta has been waiting.  Scraped each
+        telemetry tick into ``ingest.freshness_age_s`` — the series the
+        ingest-freshness SLO thresholds.
+        """
+        pending = self.incremental.dirty_count
+        if not pending:
+            pending = sum(q.depth() for q in self._queues) + sum(
+                self._inflight
+            )
+        if not pending:
+            return 0.0
+        with self._refresh_lock:
+            last = self._last_refresh
+        if last == 0.0:
+            return 0.0  # nothing ever published yet; age is undefined
+        return max(0.0, time.monotonic() - last)
 
     def _refresh_dirty_pois(self) -> int:
         with self._refresh_lock:

@@ -128,6 +128,12 @@ class IncrementalHotIn:
             self.deltas_folded += folded
         return folded
 
+    @property
+    def dirty_count(self) -> int:
+        """POIs with folded-but-unpublished deltas (freshness input)."""
+        with self._lock:
+            return len(self._dirty)
+
     # ----------------------------------------------------------- queries
 
     def _window_sum(

@@ -100,6 +100,12 @@ class SearchResult:
     #: fan-out (both 0 when no cache is attached).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Trace id of the query's span tree (None when tracing is off);
+    #: also rides along as the latency histogram's exemplar.
+    trace_id: Optional[int] = None
+    #: Fan-out recovery work spent answering this query.
+    retries: int = 0
+    hedges: int = 0
 
 
 @dataclass(frozen=True)
@@ -343,11 +349,15 @@ class QueryAnsweringModule:
         metrics: Optional[object] = None,
         hot_poi_cache: Optional[HotPOICache] = None,
         coalesce: bool = False,
+        event_log: Optional[object] = None,
     ) -> None:
         self.pois = poi_repository
         self.visits = visits_repository
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics
+        #: Optional wide-event log: one canonical event per personalized
+        #: query, carrying the full cost account and the trace id.
+        self.event_log = event_log
         #: Optional epoch-stamped cache over non-personalized answers
         #: (invalidated by HotIn refreshes and POI writes).
         self.hot_poi_cache = hot_poi_cache
@@ -469,8 +479,47 @@ class QueryAnsweringModule:
                     stacklevel=2,
                 )
             root.finish()
+            result.trace_id = root.trace_id
+            result.retries = call.retries
+            result.hedges = call.hedges
+            self._emit_query_event(query, result)
             results.append(result)
         return results
+
+    def _emit_query_event(self, query: SearchQuery, result: SearchResult) -> None:
+        """One wide event per personalized query — the canonical log line
+        carrying the full cost account, tail-sampled by the event log."""
+        log = self.event_log
+        if log is None:
+            return
+        slow_threshold = getattr(self.tracer, "slow_threshold_ms", None)
+        slow = (
+            slow_threshold is not None
+            and result.latency_ms >= slow_threshold
+        )
+        log.emit(
+            {
+                "type": "query.personalized",
+                "trace_id": result.trace_id,
+                "latency_ms": result.latency_ms,
+                "slow": slow,
+                "degraded": result.degraded,
+                "friends": len(query.friend_ids),
+                "sort_by": query.sort_by,
+                "limit": query.limit,
+                "returned": len(result.pois),
+                "records_scanned": result.records_scanned,
+                "cells_decoded": result.cells_decoded,
+                "regions_used": result.regions_used,
+                "regions_pruned": result.regions_pruned,
+                "missing_regions": list(result.missing_regions),
+                "coverage": result.coverage,
+                "cache_hits": result.cache_hits,
+                "cache_misses": result.cache_misses,
+                "retries": result.retries,
+                "hedges": result.hedges,
+            }
+        )
 
     def _route_query(self, query: SearchQuery) -> Dict:
         """Per-region scan requests for one personalized query: every

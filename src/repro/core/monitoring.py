@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 import random as _random
 import threading
+from collections import deque
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ValidationError
@@ -68,15 +69,24 @@ class LatencyHistogram:
         self.count = 0
         self.total = 0.0
         self.max_value = 0.0
+        #: Trace-id exemplars: recent ``(value_ms, exemplar)`` pairs plus
+        #: the exemplar of the all-time max, so a bad percentile links
+        #: straight to a span tree in ``admin_traces``.
+        self._exemplars: deque = deque(maxlen=8)
+        self._max_exemplar: Optional[object] = None
 
-    def record(self, value_ms: float) -> None:
+    def record(self, value_ms: float, exemplar: Optional[object] = None) -> None:
         if value_ms < 0:
             raise ValidationError("latency cannot be negative")
         with self._lock:
             self.count += 1
             self.total += value_ms
-            if value_ms > self.max_value:
+            if value_ms >= self.max_value:
                 self.max_value = value_ms
+                if exemplar is not None:
+                    self._max_exemplar = exemplar
+            if exemplar is not None:
+                self._exemplars.append((value_ms, exemplar))
             if len(self._samples) < self._max:
                 self._samples.append(value_ms)
             else:
@@ -110,7 +120,7 @@ class LatencyHistogram:
             return self._sorted[idx]
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "count": self.count,
             "mean_ms": self.mean,
             "p50_ms": self.percentile(50),
@@ -118,6 +128,22 @@ class LatencyHistogram:
             "p99_ms": self.percentile(99),
             "max_ms": self.max_value,
         }
+        exemplars = self.exemplars()
+        if exemplars:  # key present only when a producer supplied any
+            out["exemplars"] = exemplars
+        return out
+
+    def exemplars(self) -> List[Dict[str, object]]:
+        """Recent + max exemplars (``value_ms`` / ``trace_id`` rows)."""
+        with self._lock:
+            rows = list(self._exemplars)
+            max_ex = self._max_exemplar
+        out = [
+            {"value_ms": value, "trace_id": ref} for value, ref in rows
+        ]
+        if max_ex is not None and all(r["trace_id"] != max_ex for r in out):
+            out.append({"value_ms": self.max_value, "trace_id": max_ex})
+        return out
 
 
 class PlatformMetrics:
@@ -177,9 +203,13 @@ class PlatformMetrics:
             return hist
 
     def record_latency(
-        self, name: str, value_ms: float, labels: Optional[Mapping] = None
+        self,
+        name: str,
+        value_ms: float,
+        labels: Optional[Mapping] = None,
+        exemplar: Optional[object] = None,
     ) -> None:
-        self.histogram(name, labels).record(value_ms)
+        self.histogram(name, labels).record(value_ms, exemplar=exemplar)
 
     # ------------------------------------------------------------- export
 
@@ -200,6 +230,34 @@ class PlatformMetrics:
                 _flat_name(key): hist.summary() for key, hist in histograms
             },
         }
+
+    def scrape_values(self) -> Dict[str, Tuple[str, float]]:
+        """Flat ``name -> (kind, value)`` snapshot for the time-series
+        scraper (:meth:`repro.core.telemetry.TimeSeriesStore.scrape`).
+
+        Counters and gauges pass through; each histogram yields derived
+        ``:count``/``:sum`` counters and ``:p50``/``:p95``/``:p99``/
+        ``:max`` gauges, so percentile *history* is queryable even
+        though the live registry only keeps a reservoir.
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        out: Dict[str, Tuple[str, float]] = {}
+        for key, value in counters:
+            out[_flat_name(key)] = ("counter", float(value))
+        for key, value in gauges:
+            out[_flat_name(key)] = ("gauge", float(value))
+        for key, hist in histograms:
+            flat = _flat_name(key)
+            out[flat + ":count"] = ("counter", float(hist.count))
+            out[flat + ":sum"] = ("counter", hist.total)
+            out[flat + ":p50"] = ("gauge", hist.percentile(50))
+            out[flat + ":p95"] = ("gauge", hist.percentile(95))
+            out[flat + ":p99"] = ("gauge", hist.percentile(99))
+            out[flat + ":max"] = ("gauge", hist.max_value)
+        return out
 
     def to_prometheus(self, prefix: str = "modissense") -> str:
         """The registry in Prometheus text exposition format (v0.0.4).
@@ -270,17 +328,26 @@ def _prom_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
     return "{%s}" % rendered
 
 
+#: Label-value escapes per the text exposition format v0.0.4: backslash,
+#: double-quote and newline — and nothing else.  Applied in a single
+#: pass so an already-escaped backslash can never be re-escaped.
+_PROM_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
 def _prom_escape(value: str) -> str:
-    return (
-        str(value)
-        .replace("\\", "\\\\")
-        .replace('"', '\\"')
-        .replace("\n", "\\n")
+    return "".join(
+        _PROM_LABEL_ESCAPES.get(ch, ch) for ch in str(value)
     )
 
 
 def _prom_value(value) -> str:
     value = float(value)
+    # Prometheus spells specials "NaN"/"+Inf"/"-Inf"; Python's repr says
+    # "nan"/"inf" (and int(nan) raises), so special-case them first.
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
@@ -315,13 +382,19 @@ class InstrumentedQueryAnswering:
 
     def _record_personalized(self, result) -> None:
         self.metrics.increment("queries.personalized")
-        self.metrics.record_latency("query.personalized", result.latency_ms)
+        # The trace id rides along as an exemplar so a bad percentile in
+        # the histogram links straight to the span tree that caused it.
+        exemplar = getattr(result, "trace_id", None)
+        self.metrics.record_latency(
+            "query.personalized", result.latency_ms, exemplar=exemplar
+        )
         # Labeled series: latency distribution by fan-out width, so an
         # operator can see whether wide queries drive the tail.
         self.metrics.record_latency(
             "query.personalized",
             result.latency_ms,
             labels={"regions": result.regions_used},
+            exemplar=exemplar,
         )
         self.metrics.increment("records.scanned", result.records_scanned)
         # Query-path profiling counters (route-then-stream pipeline):

@@ -36,6 +36,7 @@ from .faults import FaultInjector
 from .ingest import StreamingIngestTier
 from .modules.hotin_update import IncrementalHotIn, ReconcileReport
 from .monitoring import InstrumentedQueryAnswering, PlatformMetrics
+from .telemetry import TelemetryHub
 from .tracing import Tracer
 from .modules.text_processing import TextProcessingModule
 from .modules.trajectory import TrajectoryModule
@@ -75,18 +76,31 @@ class MoDisSENSE:
         # ---- observability tier (everything below reports into these)
         self.metrics = PlatformMetrics()
         self.tracer = Tracer.from_config(self.config.tracing)
+        #: The telemetry pipeline: time-series store, SLO engine,
+        #: continuous profiler, wide-event log.  On by default; None
+        #: when ``config.telemetry.enabled`` is False (everything it
+        #: touches checks first, so the off path is telemetry-free).
+        self.telemetry: Optional[TelemetryHub] = None
+        if self.config.telemetry.enabled:
+            self.telemetry = TelemetryHub(
+                self.metrics, self.config.telemetry, tracer=self.tracer
+            ).start()
 
         # ---- storage tier
         self.hbase = HBaseCluster(
             self.config.cluster, faults_config=self.config.faults
         )
         self.hbase.attach_metrics(self.metrics)
+        if self.telemetry is not None:
+            self.hbase.attach_event_log(self.telemetry.events)
         #: Armed only when ``config.faults.enabled``; the clean path has
         #: no injector attached at all (guaranteed byte-identical).
         self.fault_injector: Optional[FaultInjector] = None
         if self.config.faults.enabled:
             self.fault_injector = FaultInjector(self.config.faults)
             self.hbase.attach_fault_injector(self.fault_injector)
+            if self.telemetry is not None:
+                self.fault_injector.event_log = self.telemetry.events
         self.sql = SqlEngine()
         regions = self.config.cluster.regions_per_table
         self.poi_repository = POIRepository(self.sql)
@@ -147,6 +161,11 @@ class MoDisSENSE:
             self.hot_poi_cache = HotPOICache(
                 max_entries=cache_cfg.hot_poi_max_entries,
                 metrics=self.metrics,
+                event_log=(
+                    self.telemetry.events
+                    if self.telemetry is not None
+                    else None
+                ),
             )
         self.query_answering = InstrumentedQueryAnswering(
             QueryAnsweringModule(
@@ -156,6 +175,11 @@ class MoDisSENSE:
                 metrics=self.metrics,
                 hot_poi_cache=self.hot_poi_cache,
                 coalesce=cache_cfg.coalesce,
+                event_log=(
+                    self.telemetry.events
+                    if self.telemetry is not None
+                    else None
+                ),
             ),
             metrics=self.metrics,
         )
@@ -182,6 +206,11 @@ class MoDisSENSE:
                 metrics=self.metrics,
                 tracer=self.tracer,
                 hot_poi_cache=self.hot_poi_cache,
+                event_log=(
+                    self.telemetry.events
+                    if self.telemetry is not None
+                    else None
+                ),
             ).start()
         self.event_detection = EventDetectionModule(
             self.gps_repository, self.poi_repository, self.config.jobs
@@ -198,6 +227,23 @@ class MoDisSENSE:
             user_management=self.user_management,
             plugins=self.plugins,
         )
+        if self.telemetry is not None:
+            self.telemetry.add_collector(self._telemetry_collect)
+
+    def _telemetry_collect(self, now: float) -> None:
+        """Pre-scrape hook: refresh derived gauges so each telemetry
+        tick samples *current* state, not whatever an event last left
+        in the registry."""
+        if self.ingest is not None:
+            self.metrics.set_gauge(
+                "ingest.freshness_age_s", self.ingest.freshness_age_s()
+            )
+            self.metrics.set_gauge(
+                "ingest.queue_depth_total",
+                sum(q.depth() for q in self.ingest._queues),
+            )
+        live = self.hbase.simulation.live_nodes()
+        self.metrics.set_gauge("cluster.live_nodes", len(live))
 
     # ----------------------------------------------------- conveniences
 
@@ -347,6 +393,8 @@ class MoDisSENSE:
         """Release thread pools (draining the ingest tier first)."""
         if self.ingest is not None:
             self.ingest.stop(drain=True)
+        if self.telemetry is not None:
+            self.telemetry.close()
         self.hbase.shutdown()
         self.job_runner.shutdown()
 
@@ -372,5 +420,10 @@ class MoDisSENSE:
             "ingest": (
                 self.ingest.stats() if self.ingest is not None else
                 {"running": False}
+            ),
+            "telemetry": (
+                self.telemetry.describe()
+                if self.telemetry is not None
+                else {"enabled": False}
             ),
         }

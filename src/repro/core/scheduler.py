@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import ValidationError
+from .. import threadreg
 from .tracing import NULL_TRACER, Tracer
 
 
@@ -30,6 +31,14 @@ class ScheduledJob:
     callback: Callable
     next_fire_at: float
     enabled: bool = True
+    #: Cron semantics (the default): a job that missed N periods fires N
+    #: times, once per missed window — right for batch pipelines where
+    #: every window must be processed.  ``catch_up=False`` gives
+    #: level-triggered semantics: after firing, the next deadline skips
+    #: straight past ``new_now`` — right for scrape/sample jobs where
+    #: replaying a simulated day as 86 400 back-to-back scrapes of the
+    #: *same* current state would be pure waste.
+    catch_up: bool = True
     fire_count: int = 0
     last_result: Any = None
     #: Firings whose callback raised; the job keeps its schedule.
@@ -72,6 +81,7 @@ class PeriodicScheduler:
         period_s: float,
         callback: Callable,
         first_fire_at: Optional[float] = None,
+        catch_up: bool = True,
     ) -> ScheduledJob:
         """Add a job; first firing defaults to one period from now."""
         if name in self._jobs:
@@ -84,6 +94,7 @@ class PeriodicScheduler:
                 first_fire_at if first_fire_at is not None
                 else self.now + period_s
             ),
+            catch_up=catch_up,
         )
         self._jobs[name] = job
         self._order.append(name)
@@ -128,6 +139,7 @@ class PeriodicScheduler:
                 "scheduler.job", job=job.name, fire_at=fire_time
             )
             wall_start = time.perf_counter()
+            previous_component = threadreg.push_component("scheduler")
             try:
                 # One job's crash must not starve its later periods or
                 # the other jobs: record the failure and keep firing.
@@ -143,6 +155,7 @@ class PeriodicScheduler:
                         "scheduler.job_failures", labels={"job": job.name}
                     )
             finally:
+                threadreg.pop_component(previous_component)
                 wall_ms = (time.perf_counter() - wall_start) * 1e3
                 span.finish()
             if self.metrics is not None:
@@ -153,7 +166,13 @@ class PeriodicScheduler:
                     "scheduler.job_wall", wall_ms, labels={"job": job.name}
                 )
             job.fire_count += 1
-            job.next_fire_at = fire_time + job.period_s
+            if job.catch_up:
+                job.next_fire_at = fire_time + job.period_s
+            else:
+                # Level-triggered: skip every missed window so a large
+                # time jump costs one firing, not one per period.
+                missed = int((new_now - fire_time) / job.period_s) + 1
+                job.next_fire_at = fire_time + missed * job.period_s
             log.append((fire_time, job.name, job.last_result))
         self.now = new_now
         return log
@@ -212,6 +231,16 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
         jobs.event_detection_period_s,
         lambda now: platform.detect_events(until=int(now)),
     )
+    if getattr(platform, "telemetry", None) is not None:
+        # One scrape per simulated second while time advances normally;
+        # level-triggered (catch_up=False) so replaying a whole platform
+        # day costs one scrape, not 86 400 scrapes of identical state.
+        scheduler.register(
+            "telemetry_scrape",
+            platform.config.telemetry.scrape_period_s,
+            lambda now: platform.telemetry.tick(now),
+            catch_up=False,
+        )
     if getattr(platform, "scan_cache", None) is not None:
         # Reap scan-cache entries no lookup can accept anymore.  The
         # simulated firing time is deliberately ignored: TTL stamps are

@@ -1,0 +1,127 @@
+"""Wide-event log: one structured JSON event per unit of work.
+
+The canonical-log-line pattern: instead of twenty scattered log lines
+per personalized query, *one* event carries the full cost account —
+cells decoded, cache hits/misses, retries/hedges, degraded coverage,
+queue wait, batch size, and the trace id as an exemplar linking the
+event to its span tree.  Ingest batches, circuit-breaker flips, node
+fail/recover and SLO transitions land in the same stream.
+
+**Tail sampling** keeps the log useful under load without unbounded
+cost: *interesting* events (slow, degraded, errored, or emitted with
+``keep=True``) are always retained — in the recent ring *and* a separate
+interesting ring so a burst of boring traffic cannot evict the one
+failure that matters — while routine events are down-sampled 1-in-N per
+event type (the first of each type is always kept).  Sampling decisions
+are counter-based and deterministic: no RNG, reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from ...errors import ValidationError
+
+
+class WideEventLog:
+    """Bounded, tail-sampled structured event stream."""
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        interesting_capacity: int = 256,
+        sample_every: int = 4,
+        metrics: Optional[Any] = None,
+    ) -> None:
+        if capacity < 1 or interesting_capacity < 1:
+            raise ValidationError("event capacities must be >= 1")
+        if sample_every < 1:
+            raise ValidationError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._recent: deque = deque(maxlen=capacity)
+        self._interesting: deque = deque(maxlen=interesting_capacity)
+        self._seq = 0
+        self._by_type: Dict[str, int] = {}
+        self.emitted = 0
+        self.kept = 0
+        self.sampled_out = 0
+
+    def emit(self, event: Dict[str, Any], keep: bool = False) -> bool:
+        """Record one event; returns whether it was kept.
+
+        ``keep=True`` (or a truthy ``slow``/``degraded``/``error`` field)
+        marks the event interesting: it bypasses sampling and also lands
+        in the always-kept interesting ring.
+        """
+        event_type = str(event.get("type", "event"))
+        interesting = keep or bool(
+            event.get("slow") or event.get("degraded") or event.get("error")
+        )
+        with self._lock:
+            self._seq += 1
+            self.emitted += 1
+            seen = self._by_type.get(event_type, 0)
+            self._by_type[event_type] = seen + 1
+            stamped = dict(event)
+            stamped["seq"] = self._seq
+            stamped["type"] = event_type
+            if interesting:
+                stamped["interesting"] = True
+                self._interesting.append(stamped)
+                self._recent.append(stamped)
+                self.kept += 1
+                kept_it = True
+            elif self.sample_every == 1 or seen % self.sample_every == 0:
+                self._recent.append(stamped)
+                self.kept += 1
+                kept_it = True
+            else:
+                self.sampled_out += 1
+                kept_it = False
+        if self.metrics is not None:
+            self.metrics.increment("events.emitted", labels={"type": event_type})
+            if not kept_it:
+                self.metrics.increment(
+                    "events.sampled_out", labels={"type": event_type}
+                )
+        return kept_it
+
+    # ------------------------------------------------------------- reading
+
+    def query(
+        self,
+        event_type: Optional[str] = None,
+        interesting_only: bool = False,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Kept events, newest first."""
+        with self._lock:
+            source = self._interesting if interesting_only else self._recent
+            events = list(source)
+        events.reverse()
+        if event_type is not None:
+            events = [e for e in events if e.get("type") == event_type]
+        if limit is not None and limit >= 0:
+            events = events[:limit]
+        return events
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "emitted": self.emitted,
+                "kept": self.kept,
+                "sampled_out": self.sampled_out,
+                "by_type": dict(self._by_type),
+                "recent": len(self._recent),
+                "interesting": len(self._interesting),
+                "sample_every": self.sample_every,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+            self._interesting.clear()

@@ -1,0 +1,265 @@
+"""Ring-buffered time series with multi-resolution rollups.
+
+Every scheduler scrape turns the live :class:`PlatformMetrics` registry
+into one sample per series (counters and gauges directly; histograms as
+derived ``name:count``/``name:sum``/``name:p50``/``name:p95``/
+``name:p99``/``name:max`` series).  Each series keeps:
+
+- a **base ring** of raw ``(t, value)`` samples, and
+- one **rollup ring per resolution** (1 s → 10 s → 60 s by default)
+  holding ``(bucket_start, count, sum, min, max, last)`` aggregates.
+
+Memory is bounded by construction: rings are ``collections.deque`` with
+``maxlen``, so a scrape is O(series) appends and the store never grows
+past ``series × (base + resolutions × buckets)`` tuples.  Timestamps are
+the scheduler's *simulated* clock, which makes SLO window arithmetic
+deterministic in tests (drive the clock, assert the burn).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections import deque
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...errors import ValidationError
+
+#: One rollup bucket: (bucket_start, count, sum, min, max, last).
+_Bucket = Tuple[float, int, float, float, float, float]
+
+
+class _Series:
+    """One metric's rings.  Not thread-safe on its own — the store's
+    lock serializes every mutation and read."""
+
+    __slots__ = ("kind", "base", "rollups", "open_buckets", "first_t")
+
+    def __init__(
+        self, kind: str, base_samples: int,
+        resolutions: Sequence[float], buckets: int,
+    ) -> None:
+        self.kind = kind  # "counter" | "gauge"
+        self.base: deque = deque(maxlen=base_samples)
+        self.rollups: Dict[float, deque] = {
+            res: deque(maxlen=buckets) for res in resolutions
+        }
+        #: res -> [bucket_start, count, sum, min, max, last] in progress.
+        self.open_buckets: Dict[float, list] = {}
+        #: Timestamp of the first sample ever recorded — survives base
+        #: eviction so value_at can honor "0 before the series existed".
+        self.first_t: Optional[float] = None
+
+    def add(self, t: float, value: float) -> None:
+        if self.first_t is None:
+            self.first_t = t
+        self.base.append((t, value))
+        for res, ring in self.rollups.items():
+            start = (t // res) * res
+            open_b = self.open_buckets.get(res)
+            if open_b is not None and open_b[0] == start:
+                open_b[1] += 1
+                open_b[2] += value
+                if value < open_b[3]:
+                    open_b[3] = value
+                if value > open_b[4]:
+                    open_b[4] = value
+                open_b[5] = value
+            else:
+                if open_b is not None:
+                    ring.append(tuple(open_b))
+                self.open_buckets[res] = [start, 1, value, value, value, value]
+
+    def buckets(self, res: float) -> List[_Bucket]:
+        """Closed buckets plus the in-progress one, oldest first."""
+        out = list(self.rollups[res])
+        open_b = self.open_buckets.get(res)
+        if open_b is not None:
+            out.append(tuple(open_b))
+        return out
+
+
+class TimeSeriesStore:
+    """Scrape target + query surface for the platform's metric history."""
+
+    def __init__(
+        self,
+        base_samples: int = 720,
+        resolutions: Sequence[float] = (1.0, 10.0, 60.0),
+        buckets_per_resolution: int = 360,
+    ) -> None:
+        if base_samples < 2:
+            raise ValidationError("base_samples must be >= 2")
+        if not resolutions:
+            raise ValidationError("at least one rollup resolution required")
+        if any(r <= 0 for r in resolutions):
+            raise ValidationError("rollup resolutions must be positive")
+        if buckets_per_resolution < 1:
+            raise ValidationError("buckets_per_resolution must be >= 1")
+        self._base_samples = base_samples
+        self._resolutions = tuple(sorted(float(r) for r in resolutions))
+        self._buckets = buckets_per_resolution
+        self._lock = threading.Lock()
+        self._series: Dict[str, _Series] = {}
+        self.scrapes = 0
+        self.last_scrape_at: Optional[float] = None
+
+    # ------------------------------------------------------------ writing
+
+    def record(self, name: str, kind: str, value: float, now: float) -> None:
+        """Append one sample (scrapes call this for every live series)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = _Series(
+                    kind, self._base_samples, self._resolutions, self._buckets
+                )
+            series.add(now, value)
+
+    def scrape(self, values: Mapping[str, Tuple[str, float]], now: float) -> int:
+        """One scheduler tick: fold a ``name -> (kind, value)`` snapshot
+        (see :meth:`PlatformMetrics.scrape_values`) into the rings."""
+        for name, (kind, value) in values.items():
+            self.record(name, kind, value, now)
+        with self._lock:
+            self.scrapes += 1
+            self.last_scrape_at = now
+        return len(values)
+
+    # ------------------------------------------------------------ reading
+
+    def names(self, prefix: Optional[str] = None) -> List[str]:
+        with self._lock:
+            names = sorted(self._series)
+        if prefix:
+            names = [n for n in names if n.startswith(prefix)]
+        return names
+
+    def kind_of(self, name: str) -> Optional[str]:
+        with self._lock:
+            series = self._series.get(name)
+            return series.kind if series is not None else None
+
+    def query(
+        self,
+        name: str,
+        resolution: Optional[float] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Points for one series.
+
+        ``resolution`` None/0 selects the raw base ring (``[t, value]``
+        pairs); otherwise the nearest configured rollup (``[bucket_start,
+        count, sum, min, max, last]`` rows).  ``since``/``until`` bound
+        by timestamp, ``limit`` keeps the newest N points.
+        """
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                return {"name": name, "kind": None, "resolution": resolution,
+                        "points": []}
+            if not resolution:
+                points: List[tuple] = list(series.base)
+                chosen: Optional[float] = None
+            else:
+                chosen = min(
+                    self._resolutions, key=lambda r: abs(r - resolution)
+                )
+                points = series.buckets(chosen)
+            kind = series.kind
+        if since is not None:
+            points = [p for p in points if p[0] >= since]
+        if until is not None:
+            points = [p for p in points if p[0] <= until]
+        if limit is not None and limit >= 0:
+            points = points[-limit:]
+        return {
+            "name": name,
+            "kind": kind,
+            "resolution": chosen,
+            "points": [list(p) for p in points],
+        }
+
+    def latest(self, name: str) -> Optional[float]:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None or not series.base:
+                return None
+            return series.base[-1][1]
+
+    def value_at(self, name: str, ts: float, default: float = 0.0) -> float:
+        """The series' value at-or-before ``ts``.
+
+        Counters are assumed 0 before their first sample, so a window
+        whose start predates the series still yields an exact delta.
+        Falls back to rollup ``last`` values when the base ring has
+        already evicted ``ts``.
+        """
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                return default
+            if series.first_t is None or ts < series.first_t:
+                return default
+            base = series.base
+            if base and base[0][0] <= ts:
+                times = [p[0] for p in base]
+                idx = bisect.bisect_right(times, ts) - 1
+                if idx >= 0:
+                    return base[idx][1]
+            # ts predates the base ring: walk rollups coarse-to-fine for
+            # the last closed bucket at or before ts.
+            best_t, best_v = None, default
+            for res in self._resolutions:
+                for bucket in series.buckets(res):
+                    if bucket[0] <= ts and (best_t is None or bucket[0] > best_t):
+                        best_t, best_v = bucket[0], bucket[5]
+            return best_v
+
+    def delta(self, name: str, since: float, until: float) -> float:
+        """Counter increase over ``(since, until]`` (0 for unknowns)."""
+        return max(
+            0.0, self.value_at(name, until) - self.value_at(name, since)
+        )
+
+    def window_samples(
+        self, name: str, since: float, until: float
+    ) -> List[Tuple[float, float, float]]:
+        """``(t, min, max)`` rows covering ``(since, until]``.
+
+        Base samples contribute themselves; when the base ring no longer
+        reaches back to ``since`` the finest rollup's buckets stand in
+        (their min/max bound every raw sample they absorbed, so a
+        threshold check over this window never misses a violation).
+        """
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                return []
+            base = [
+                (t, v, v) for t, v in series.base if since < t <= until
+            ]
+            base_floor = series.base[0][0] if series.base else None
+            if base_floor is not None and base_floor <= since:
+                return base
+            finest = self._resolutions[0]
+            rolled = [
+                (b[0], b[3], b[4])
+                for b in series.buckets(finest)
+                if since < b[0] <= until
+                and (base_floor is None or b[0] < base_floor)
+            ]
+        return rolled + base
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "series": len(self._series),
+                "scrapes": self.scrapes,
+                "last_scrape_at": self.last_scrape_at,
+                "base_samples": self._base_samples,
+                "resolutions": list(self._resolutions),
+                "buckets_per_resolution": self._buckets,
+            }

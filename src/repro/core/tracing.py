@@ -296,6 +296,8 @@ class Tracer:
                 "pending_traces": len(self._pending),
                 "dropped_traces": self.dropped_traces,
                 "slow_threshold_ms": self.slow_threshold_ms,
+                "max_traces": self._recent.maxlen,
+                "slow_log_size": self._slow.maxlen,
             }
 
 

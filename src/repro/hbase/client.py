@@ -148,7 +148,9 @@ class HBaseCluster:
         self.config = config or ClusterConfig()
         self.faults_config = faults_config or FaultsConfig()
         self.simulation = ClusterSimulation(self.config)
-        self._executor = ParallelExecutor(max_workers=self.config.total_cores)
+        self._executor = ParallelExecutor(
+            max_workers=self.config.total_cores, component="fanout"
+        )
         self._tables: Dict[str, HTable] = {}
         #: Fault injector (see :class:`repro.core.faults.FaultInjector`);
         #: None (the default) keeps the clean path injection-free.
@@ -158,6 +160,10 @@ class HBaseCluster:
         #: Optional region scan cache (see :mod:`repro.hbase.cache`);
         #: None (the default) keeps the fan-out cache-free.
         self.scan_cache: Optional[RegionScanCache] = None
+        #: Optional wide-event log; breaker flips and node fail/recover
+        #: become structured events (always kept — they are rare and
+        #: load-bearing for incident timelines).
+        self.event_log: Optional[Any] = None
         self._fanout_lock = threading.Lock()
         self._fanout_epoch = 0
         self._breaker_lock = threading.Lock()
@@ -174,6 +180,16 @@ class HBaseCluster:
         """Arm a :class:`repro.core.faults.FaultInjector` on the query
         fan-out.  Detach by passing None."""
         self.fault_injector = injector
+
+    def attach_event_log(self, event_log: Optional[Any]) -> None:
+        """Emit breaker and node lifecycle events into ``event_log``
+        (a :class:`repro.core.telemetry.WideEventLog`).  Detach with
+        None."""
+        self.event_log = event_log
+
+    def _emit_event(self, event: Mapping, keep: bool = True) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(dict(event), keep=keep)
 
     def attach_scan_cache(self, cache: Optional[RegionScanCache]) -> None:
         """Hand every *clean* coprocessor invocation a scan cache to
@@ -713,8 +729,18 @@ class HBaseCluster:
                 # Half-open: admit a probe; one more failure re-opens.
                 state.open_until = -1
                 state.failures = self.faults_config.breaker_threshold - 1
-                return True
-            return False
+                half_open = True
+            else:
+                return False
+        if half_open:
+            self._emit_event(
+                {
+                    "type": "breaker.half_open",
+                    "node": node_id,
+                    "epoch": epoch,
+                }
+            )
+        return True
 
     def _breaker_record(
         self, node_id: Optional[int], ok: bool, epoch: int
@@ -722,9 +748,13 @@ class HBaseCluster:
         if node_id is None:
             return
         opened = False
+        closed = False
         with self._breaker_lock:
             state = self._breakers.setdefault(node_id, _BreakerState())
             if ok:
+                # A success after accumulated failures closes the
+                # breaker (half-open probe succeeding is the usual way).
+                closed = state.failures > 0
                 state.failures = 0
                 state.open_until = -1
             else:
@@ -739,6 +769,20 @@ class HBaseCluster:
                     opened = True
         if opened:
             self._count("fanout.breaker_opened", labels={"node": node_id})
+            self._emit_event(
+                {
+                    "type": "breaker.opened",
+                    "node": node_id,
+                    "epoch": epoch,
+                    "cooldown_fanouts": (
+                        self.faults_config.breaker_cooldown_fanouts
+                    ),
+                }
+            )
+        elif closed:
+            self._emit_event(
+                {"type": "breaker.closed", "node": node_id, "epoch": epoch}
+            )
 
     def _breaker_reset(self, node_id: int) -> None:
         with self._breaker_lock:
@@ -839,6 +883,13 @@ class HBaseCluster:
             self.scan_cache.invalidate_regions(moved)
         if self.fault_injector is not None and moved:
             self.fault_injector.on_node_failed(node_id, moved)
+        self._emit_event(
+            {
+                "type": "node.failed",
+                "node": node_id,
+                "regions_moved": list(moved),
+            }
+        )
         return moved
 
     def recover_node(self, node_id: int) -> None:
@@ -847,6 +898,7 @@ class HBaseCluster:
         self._breaker_reset(node_id)
         if self.fault_injector is not None:
             self.fault_injector.on_node_recovered(node_id)
+        self._emit_event({"type": "node.recovered", "node": node_id})
 
     def shutdown(self) -> None:
         """Release the fan-out thread pool.  Idempotent; the cluster

@@ -49,7 +49,9 @@ class JobRunner:
         tracer: Optional[Any] = None,
         metrics: Optional[Any] = None,
     ) -> None:
-        self._executor = ParallelExecutor(max_workers=max_workers)
+        self._executor = ParallelExecutor(
+            max_workers=max_workers, component="mapreduce"
+        )
         self.tracer = tracer
         self.metrics = metrics
 

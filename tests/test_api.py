@@ -208,7 +208,11 @@ class TestEndpoints:
         assert "admin_traces" in endpoints
         assert "admin_cache" in endpoints
         assert "admin_ingest" in endpoints
-        assert len(endpoints) == 16
+        assert "admin_timeseries" in endpoints
+        assert "admin_health" in endpoints
+        assert "admin_profile" in endpoints
+        assert "admin_events" in endpoints
+        assert len(endpoints) == 20
 
     def test_explain_endpoint(self, api):
         rest, p = api
@@ -298,8 +302,11 @@ class TestEndpoints:
 
 _PROM_LINE = (
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
-    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
-    r" -?[0-9.eE+-]+(nan|inf)?$"
+    # Label values may contain escaped quotes/backslashes/newlines
+    # (\" \\ \n) but never a bare quote or backslash.
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (-?[0-9.eE+-]+|NaN|\+Inf|-Inf)$"
 )
 
 

@@ -549,5 +549,46 @@ class TestPrometheusExposition:
         text = metrics.to_prometheus()
         assert 'modissense_weird_name_1_total{q="say \\"hi\\"\\nnow"} 1' in text
 
+    def test_hostile_label_values_roundtrip(self):
+        # Regression: backslashes must be escaped FIRST (a single-pass
+        # translation), or 'a\nb' -> 'a\\nb' -> double-mangled output.
+        metrics = PlatformMetrics()
+        hostile = 'back\\slash "quote"\nnewline\\n'
+        metrics.increment("evil", labels={"v": hostile})
+        text = metrics.to_prometheus()
+        assert (
+            'modissense_evil_total{v="back\\\\slash \\"quote\\"'
+            '\\nnewline\\\\n"} 1' in text
+        )
+        # Parse it back the way a scraper would: unescape and compare.
+        import re
+
+        match = re.search(r'\{v="((?:[^"\\]|\\.)*)"\}', text)
+        assert match is not None
+        unescaped = (
+            match.group(1)
+            .replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        assert unescaped == hostile
+
+    def test_lone_backslash_label(self):
+        metrics = PlatformMetrics()
+        metrics.increment("evil", labels={"v": "\\"})
+        assert 'v="\\\\"' in metrics.to_prometheus()
+
+    def test_non_finite_gauge_values_render_as_tokens(self):
+        # Regression: int(nan) raised and crashed the whole exposition.
+        metrics = PlatformMetrics()
+        metrics.set_gauge("weird.nan", float("nan"))
+        metrics.set_gauge("weird.posinf", float("inf"))
+        metrics.set_gauge("weird.neginf", float("-inf"))
+        text = metrics.to_prometheus()
+        assert "modissense_weird_nan NaN" in text
+        assert "modissense_weird_posinf +Inf" in text
+        assert "modissense_weird_neginf -Inf" in text
+
     def test_empty_registry_renders_empty(self):
         assert PlatformMetrics().to_prometheus() == ""
