@@ -151,12 +151,16 @@ class ClusterSimulation:
             raise ConfigError("no node %r" % node_id)
         if node_id in self._failed_nodes:
             return []
-        self._failed_nodes.add(node_id)
+        # Validate BEFORE mutating: a rejected failure must leave the
+        # node live, not marked failed with its regions stranded.
         survivors = [
-            i for i in range(len(self.nodes)) if i not in self._failed_nodes
+            i
+            for i in range(len(self.nodes))
+            if i not in self._failed_nodes and i != node_id
         ]
         if not survivors:
             raise ConfigError("cannot fail the last live node")
+        self._failed_nodes.add(node_id)
         moved = sorted(
             region
             for region, node in self._region_to_node.items()
@@ -166,12 +170,69 @@ class ClusterSimulation:
             self._region_to_node[region] = survivors[i % len(survivors)]
         return moved
 
+    def crash_node(self, node_id: int) -> List[int]:
+        """Take a node down WITHOUT moving its regions (a real crash).
+
+        Unlike :meth:`fail_node` — which models master-driven failover
+        as one instantaneous step — a crash leaves the placement map
+        still pointing at the dead server: requests to those regions
+        find nobody home until the supervisor detects the missed
+        heartbeats and reassigns them (see
+        :class:`repro.core.supervisor.ClusterSupervisor`).  Returns the
+        region ids stranded on the dead node.
+        """
+        if not 0 <= node_id < len(self.nodes):
+            raise ConfigError("no node %r" % node_id)
+        if node_id in self._failed_nodes:
+            return []
+        survivors = [
+            i
+            for i in range(len(self.nodes))
+            if i not in self._failed_nodes and i != node_id
+        ]
+        if not survivors:
+            raise ConfigError("cannot fail the last live node")
+        self._failed_nodes.add(node_id)
+        return self.regions_on(node_id)
+
+    def reassign_regions(self, mapping: Dict[int, int]) -> None:
+        """Point regions at new nodes (supervisor-driven recovery moves).
+
+        Every target must be a live node and every region must already
+        be placed; validation happens before any assignment is applied.
+        """
+        for region_id, node_id in mapping.items():
+            if region_id not in self._region_to_node:
+                raise ConfigError(
+                    "region %r was never placed; call place_regions first"
+                    % region_id
+                )
+            if not 0 <= node_id < len(self.nodes):
+                raise ConfigError("no node %r" % node_id)
+            if node_id in self._failed_nodes:
+                raise ConfigError(
+                    "cannot assign region %r to failed node %r"
+                    % (region_id, node_id)
+                )
+        self._region_to_node.update(mapping)
+
     def recover_node(self, node_id: int, rebalance: bool = True) -> None:
         """Bring a failed node back; optionally re-place all regions."""
         self._failed_nodes.discard(node_id)
         self.nodes[node_id].reset()
         if rebalance and self._region_to_node:
             self.place_regions(list(self._region_to_node))
+
+    def is_live(self, node_id: int) -> bool:
+        return 0 <= node_id < len(self.nodes) and node_id not in self._failed_nodes
+
+    def regions_on(self, node_id: int) -> List[int]:
+        """Region ids currently placed on ``node_id``, ascending."""
+        return sorted(
+            region
+            for region, node in self._region_to_node.items()
+            if node == node_id
+        )
 
     @property
     def live_node_count(self) -> int:

@@ -389,6 +389,56 @@ class IngestConfig:
             raise ConfigError("prune_slack_s cannot be negative")
 
 
+@dataclass
+class SupervisorConfig:
+    """Knobs of the self-healing cluster supervisor
+    (``repro.core.supervisor``).
+
+    Off by default: with ``enabled=False`` no supervisor is constructed,
+    region WALs stay plain per-region logs, and failure handling is
+    exactly the manual ``fail_node``/``recover_node`` story.  With it
+    on, every node carries a heartbeat lease driven by the platform
+    scheduler; a node that misses heartbeats past ``lease_timeout_s``
+    is declared dead and recovered HBase-style — its server WAL is
+    split by region, regions are reassigned to the least-loaded
+    survivors, and each region's committed-but-unflushed WAL suffix is
+    replayed into a fresh memstore before it reopens.  A scheduled
+    scrubber verifies store-file block checksums and WAL tails,
+    repairing corrupt blocks from the WAL archive or quarantining them.
+    """
+
+    enabled: bool = False
+    #: Simulated seconds between heartbeat-lease ticks.
+    heartbeat_period_s: float = 1.0
+    #: A node whose lease is older than this (simulated seconds) is
+    #: declared dead and recovered.  Detection MTTR is bounded by
+    #: ``lease_timeout_s + heartbeat_period_s`` when time advances in
+    #: sub-lease steps; the recovery-smoke CI gate enforces MTTR at
+    #: most twice this value.
+    lease_timeout_s: float = 3.0
+    #: Simulated seconds between storage-scrub passes.
+    scrub_period_s: float = 60.0
+    #: Truncated WAL records kept per region as the scrubber's repair
+    #: source (flushed cells live in store files; their log records move
+    #: to this bounded archive instead of vanishing).
+    wal_archive_capacity: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_period_s <= 0:
+            raise ConfigError("heartbeat_period_s must be positive")
+        if self.lease_timeout_s <= 0:
+            raise ConfigError("lease_timeout_s must be positive")
+        if self.lease_timeout_s < self.heartbeat_period_s:
+            raise ConfigError(
+                "lease_timeout_s must be >= heartbeat_period_s "
+                "(a lease shorter than one heartbeat always expires)"
+            )
+        if self.scrub_period_s <= 0:
+            raise ConfigError("scrub_period_s must be positive")
+        if self.wal_archive_capacity < 0:
+            raise ConfigError("wal_archive_capacity cannot be negative")
+
+
 @dataclass(frozen=True)
 class SLOSpec:
     """One declarative service-level objective.
@@ -454,7 +504,7 @@ class SLOSpec:
 
 
 def default_slos() -> Tuple[SLOSpec, ...]:
-    """The platform's five stock SLOs (tune or replace per deployment)."""
+    """The platform's seven stock SLOs (tune or replace per deployment)."""
     return (
         SLOSpec(
             name="personalized_p99_latency",
@@ -502,6 +552,27 @@ def default_slos() -> Tuple[SLOSpec, ...]:
             total_series="ingest.submitted",
             target=0.999,
             description="Ingest writes shed by full partition queues.",
+        ),
+        SLOSpec(
+            name="storage_integrity",
+            kind="ratio",
+            bad_series="scrub.blocks_corrupt",
+            total_series="scrub.blocks_scanned",
+            target=0.999,
+            description="Store-file blocks the scrubber found failing "
+                        "their checksum (corrupt blocks are repaired "
+                        "from the WAL or quarantined, never served).",
+        ),
+        SLOSpec(
+            name="recovery_mttr",
+            kind="threshold",
+            series="supervisor.mttr_s",
+            threshold=6.0,
+            direction="le",
+            target=0.99,
+            description="Node-death detection + recovery time stays "
+                        "within twice the default 3 s heartbeat lease "
+                        "(no samples while nothing dies = healthy).",
         ),
     )
 
@@ -581,6 +652,7 @@ class PlatformConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     ingest: IngestConfig = field(default_factory=IngestConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
     #: Seed for all synthetic-data randomness; fixed for reproducibility.
     seed: int = 2015
 

@@ -139,6 +139,12 @@ REQUEST_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "since": (int, False),
         "until": (int, False),
     },
+    "admin_supervisor": {
+        "drill": (bool, False),
+        "node": (int, False),
+        "scrub": (bool, False),
+        "limit": (int, False),
+    },
     "explain": {
         "bbox": (list, False),
         "keywords": (list, False),

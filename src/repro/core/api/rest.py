@@ -79,6 +79,7 @@ class RestApi:
             "admin_health": self._admin_health,
             "admin_profile": self._admin_profile,
             "admin_events": self._admin_events,
+            "admin_supervisor": self._admin_supervisor,
             "explain": self._explain,
         }
         #: Observability sinks: auto-wired from the platform (which owns
@@ -374,6 +375,29 @@ class RestApi:
                 "in_sync": report.in_sync,
             }
         out["stats"] = ingest.stats()
+        return out
+
+    def _admin_supervisor(self, req: Dict) -> Dict:
+        """Self-healing supervisor state: lease table, recovery history
+        and on-demand drills.
+
+        ``drill`` runs a live recovery drill (crash a node — ``node``
+        picks which, default the highest-id live one — then heal it and
+        report the measured MTTR); ``scrub`` forces an immediate
+        scrub-and-repair pass.  ``limit`` bounds the history returned.
+        """
+        supervisor = getattr(self.platform, "supervisor", None)
+        if supervisor is None:
+            return {"enabled": False}
+        out: Dict[str, Any] = {"enabled": True}
+        if req.get("drill"):
+            out["drill"] = supervisor.force_drill(req.get("node"))
+        if req.get("scrub"):
+            out["scrub"] = supervisor.force_scrub()
+        limit = req.get("limit", 20)
+        out["leases"] = supervisor.lease_table()
+        out["history"] = supervisor.recovery_history[-limit:]
+        out["describe"] = supervisor.describe()
         return out
 
     def _admin_traces(self, req: Dict) -> Dict:

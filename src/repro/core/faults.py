@@ -36,6 +36,7 @@ __all__ = [
     "FAULT_ERROR",
     "FAULT_HANG",
     "FAULT_CORRUPT",
+    "FAULT_DISK",
     "Fault",
     "FaultInjector",
 ]
@@ -43,6 +44,7 @@ __all__ = [
 FAULT_ERROR = "error"
 FAULT_HANG = "hang"
 FAULT_CORRUPT = "corrupt"
+FAULT_DISK = "disk_corruption"
 
 #: Attempt index the client uses for hedged re-executions; hedges draw
 #: their own fault decision so a hedge can itself fail.
@@ -55,6 +57,7 @@ _SCHEDULE_ACTIONS = ("fail", "recover")
 _KEY_DECIDE = 1
 _KEY_LOST = 2
 _KEY_JITTER = 3
+_KEY_DISK = 4
 
 
 @dataclass(frozen=True)
@@ -150,7 +153,14 @@ class FaultInjector:
             if cluster is None:
                 continue
             if action == "fail":
-                cluster.fail_node(node_id)
+                if getattr(cluster, "supervisor", None) is not None:
+                    # A supervised cluster gets the honest failure mode:
+                    # the node crashes in place (regions stranded,
+                    # memstores lost) and only the supervisor's
+                    # heartbeat-lease recovery brings service back.
+                    cluster.crash_node(node_id)
+                else:
+                    cluster.fail_node(node_id)
             else:
                 cluster.recover_node(node_id)
         return epoch
@@ -177,6 +187,64 @@ class FaultInjector:
             raise ConfigError("times must be >= 1")
         with self._lock:
             self._targeted[region_id] = self._targeted.get(region_id, 0) + times
+
+    def inject_disk_corruption(
+        self,
+        cluster: Any,
+        table_name: str,
+        events: int = 1,
+        tear_tail: bool = False,
+    ) -> List[Tuple[int, str, int, int]]:
+        """Seeded bit rot: corrupt store-file blocks of ``table_name``.
+
+        Picks ``events`` deterministic targets from the table's current
+        store files (keyed on the seed + injector epoch, so the same
+        seed damages the same blocks) and either flips bits inside one
+        block (:meth:`StoreFile.corrupt_block`) or tears the file's tail
+        (``tear_tail=True``, :meth:`StoreFile.tear_tail`).  The damage
+        is *latent* — nothing fails until a read checksums the block or
+        the scrubber's next pass finds it.  Returns the list of
+        ``(region_id, family, file_id, block_index)`` targets hit;
+        empty when the table has no store files yet (flush first).
+        """
+        if events < 1:
+            raise ConfigError("events must be >= 1")
+        table = cluster.table(table_name)
+        candidates: List[Tuple[int, str, Any]] = []
+        for region in table.regions:
+            for family in sorted(region.families):
+                for sf in region.store_files_for(family):
+                    if len(sf) > 0:
+                        candidates.append((region.region_id, family, sf))
+        candidates.sort(key=lambda t: (t[0], t[1], t[2].file_id))
+        if not candidates:
+            return []
+        hit: List[Tuple[int, str, int, int]] = []
+        for i in range(events):
+            rng = self._rng(_KEY_DISK, self._epoch, i)
+            region_id, family, sf = candidates[rng.randrange(len(candidates))]
+            if tear_tail:
+                block_index = sf.block_count - 1
+                sf.tear_tail()
+            else:
+                block_index = rng.randrange(sf.block_count)
+                sf.corrupt_block(block_index)
+            hit.append((region_id, family, sf.file_id, block_index))
+            self.events.append((self._epoch, FAULT_DISK, region_id))
+            if self.event_log is not None:
+                self.event_log.emit(
+                    {
+                        "type": "fault.injected",
+                        "action": FAULT_DISK,
+                        "region": region_id,
+                        "family": family,
+                        "file_id": sf.file_id,
+                        "block": block_index,
+                        "torn": tear_tail,
+                    },
+                    keep=True,
+                )
+        return hit
 
     # ---------------------------------------------------- node-failure hooks
 

@@ -36,6 +36,7 @@ from .faults import FaultInjector
 from .ingest import StreamingIngestTier
 from .modules.hotin_update import IncrementalHotIn, ReconcileReport
 from .monitoring import InstrumentedQueryAnswering, PlatformMetrics
+from .supervisor import ClusterSupervisor
 from .telemetry import TelemetryHub
 from .tracing import Tracer
 from .modules.text_processing import TextProcessingModule
@@ -212,6 +213,26 @@ class MoDisSENSE:
                     else None
                 ),
             ).start()
+        # ---- self-healing supervisor (off by default; see
+        # config.supervisor).  Constructed after the ingest tier so the
+        # server-WAL handles adopt the (still empty) per-region WALs the
+        # tier attached — fold watermarks carry over unchanged.  With
+        # ``enabled=False`` the attribute stays None and failure
+        # handling remains manual, exactly the pre-supervisor behavior.
+        self.supervisor: Optional[ClusterSupervisor] = None
+        if self.config.supervisor.enabled:
+            self.supervisor = ClusterSupervisor(
+                self.hbase,
+                config=self.config.supervisor,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                event_log=(
+                    self.telemetry.events
+                    if self.telemetry is not None
+                    else None
+                ),
+            )
+            self.supervisor.attach()
         self.event_detection = EventDetectionModule(
             self.gps_repository, self.poi_repository, self.config.jobs
         )
@@ -424,6 +445,11 @@ class MoDisSENSE:
             "telemetry": (
                 self.telemetry.describe()
                 if self.telemetry is not None
+                else {"enabled": False}
+            ),
+            "supervisor": (
+                self.supervisor.describe()
+                if self.supervisor is not None
                 else {"enabled": False}
             ),
         }

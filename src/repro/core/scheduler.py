@@ -251,4 +251,23 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
             platform.config.cache.sweep_period_s,
             lambda now: platform.sweep_caches(),
         )
+    if getattr(platform, "supervisor", None) is not None:
+        # Heartbeat + scrub are level-triggered: a large jump costs one
+        # tick each, and the lease check compares against the *new* now,
+        # so a crash during a long idle stretch is still detected at the
+        # first tick after the jump.  Drill tests advance in sub-lease
+        # steps to measure honest detection latency.
+        sup_cfg = platform.config.supervisor
+        scheduler.register(
+            "supervisor_heartbeat",
+            sup_cfg.heartbeat_period_s,
+            lambda now: platform.supervisor.heartbeat_tick(now),
+            catch_up=False,
+        )
+        scheduler.register(
+            "storage_scrub",
+            sup_cfg.scrub_period_s,
+            lambda now: platform.supervisor.scrub_tick(now),
+            catch_up=False,
+        )
     return scheduler

@@ -61,6 +61,15 @@ class CoprocessorError(ReproError):
     """A region coprocessor raised during region-local execution."""
 
 
+class ChecksumError(StorageError):
+    """A store-file block or WAL record failed checksum verification.
+
+    Raised on the read path the moment corrupt bytes would otherwise be
+    served — a corrupt block is *never* silently decoded.  The scheduled
+    scrubber repairs such blocks from the WAL (live tail + archive) or
+    quarantines them when no intact source remains."""
+
+
 class RegionUnavailableError(StorageError):
     """A region could not serve a request (server down, data unavailable,
     or an injected fault).  The resilient fan-out retries/hedges these;

@@ -39,7 +39,7 @@ from .filters import (
     AndFilter,
 )
 from .region import Region
-from .wal import WriteAheadLog, WALRecord
+from .wal import RegionWALHandle, ServerWAL, WriteAheadLog, WALRecord
 from .table import HTable, TableDescriptor
 from .coprocessor import Coprocessor, CoprocessorContext, CorruptPartial
 from .cache import RegionScanCache
@@ -66,6 +66,8 @@ __all__ = [
     "Region",
     "WriteAheadLog",
     "WALRecord",
+    "ServerWAL",
+    "RegionWALHandle",
     "HTable",
     "TableDescriptor",
     "Coprocessor",

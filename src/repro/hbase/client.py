@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from ..cluster import ClusterSimulation, ParallelExecutor, QueryTimeline, Task
 from ..config import ClusterConfig, FaultsConfig
 from ..errors import (
+    ConfigError,
     CoprocessorError,
     QueryDeadlineExceeded,
     RegionUnavailableError,
@@ -164,6 +165,10 @@ class HBaseCluster:
         #: become structured events (always kept — they are rare and
         #: load-bearing for incident timelines).
         self.event_log: Optional[Any] = None
+        #: Cluster supervisor (see :class:`repro.core.supervisor.
+        #: ClusterSupervisor`); None (the default) keeps failure
+        #: handling manual — fail_node/recover_node — exactly as before.
+        self.supervisor: Optional[Any] = None
         self._fanout_lock = threading.Lock()
         self._fanout_epoch = 0
         self._breaker_lock = threading.Lock()
@@ -190,6 +195,15 @@ class HBaseCluster:
     def _emit_event(self, event: Mapping, keep: bool = True) -> None:
         if self.event_log is not None:
             self.event_log.emit(dict(event), keep=keep)
+
+    def attach_supervisor(self, supervisor: Optional[Any]) -> None:
+        """Hand failure handling to a ClusterSupervisor: heartbeat-lease
+        death detection, WAL-split recovery, and storage scrubbing.
+        Also routes injected ``fail`` schedule entries through
+        :meth:`crash_node` instead of :meth:`fail_node`, so injected
+        deaths become *real* crashes the supervisor must heal.  Detach
+        by passing None."""
+        self.supervisor = supervisor
 
     def attach_scan_cache(self, cache: Optional[RegionScanCache]) -> None:
         """Hand every *clean* coprocessor invocation a scan cache to
@@ -397,6 +411,13 @@ class HBaseCluster:
                     # hedge can answer, and the (healthy) serving node's
                     # breaker must not be charged for it.
                     out.reason = "region_lost"
+                    return out
+                if node_id is not None and not self.simulation.is_live(node_id):
+                    # Placement still points at a crashed server (the
+                    # supervisor has not reassigned yet): nobody is home,
+                    # and a hedge must not "answer" from the corpse's
+                    # region object — its memstore died with the node.
+                    out.reason = "node_down"
                     return out
                 if not self._breaker_allow(node_id, epoch):
                     # Node known-bad: skip the primary, go straight to
@@ -892,10 +913,72 @@ class HBaseCluster:
         )
         return moved
 
+    def crash_node(self, node_id: int) -> List[int]:
+        """Kill a region server WITHOUT failover: placement still points
+        at the corpse, its memstores are lost, and nothing recovers
+        until the supervisor's heartbeat lease expires and it runs
+        WAL-split recovery.  This is the honest crash the self-healing
+        loop exists for; requires a supervisor, because without one the
+        stranded regions would stay dark forever."""
+        if self.supervisor is None:
+            raise ConfigError(
+                "crash_node requires an attached ClusterSupervisor; "
+                "use fail_node for instantaneous-failover simulation"
+            )
+        downed = self.simulation.crash_node(node_id)
+        self._breaker_reset(node_id)
+        if self.scan_cache is not None and downed:
+            self.scan_cache.invalidate_regions(downed)
+        dropped_cells = 0
+        regions_by_id = {
+            r.region_id: r
+            for table in self._tables.values()
+            for r in table.regions
+        }
+        for rid in downed:
+            region = regions_by_id.get(rid)
+            if region is not None:
+                dropped_cells += region.crash()
+        self._emit_event(
+            {
+                "type": "node.crashed",
+                "node": node_id,
+                "regions_stranded": list(downed),
+                "memstore_cells_lost": dropped_cells,
+            }
+        )
+        return downed
+
+    def reassign_regions(self, mapping: Dict[int, int]) -> None:
+        """Supervisor-driven placement change: point regions at new
+        nodes and drop their cached partials (they will be served by a
+        different server, possibly after WAL replay)."""
+        if not mapping:
+            return
+        self.simulation.reassign_regions(mapping)
+        if self.scan_cache is not None:
+            self.scan_cache.invalidate_regions(list(mapping))
+        self._emit_event(
+            {
+                "type": "regions.reassigned",
+                "mapping": {str(k): v for k, v in mapping.items()},
+            }
+        )
+
     def recover_node(self, node_id: int) -> None:
         """Bring a failed node back and rebalance regions onto it."""
+        before = self.simulation.region_placement
         self.simulation.recover_node(node_id)
         self._breaker_reset(node_id)
+        if self.scan_cache is not None:
+            # Rebalance moves regions onto the returning node; their
+            # cached partials were produced under the old placement and
+            # must go, exactly as fail_node drops the dead node's — the
+            # two paths are symmetric.
+            after = self.simulation.region_placement
+            moved = [rid for rid, node in after.items() if before.get(rid) != node]
+            if moved:
+                self.scan_cache.invalidate_regions(moved)
         if self.fault_injector is not None:
             self.fault_injector.on_node_recovered(node_id)
         self._emit_event({"type": "node.recovered", "node": node_id})

@@ -1,13 +1,67 @@
-"""Immutable sorted store files — the on-disk half of the LSM tree."""
+"""Immutable sorted store files — the on-disk half of the LSM tree.
+
+Store files carry per-block CRC32 checksums (blocks of
+:data:`BLOCK_CELLS` cells, as HFile checksums 64 KB chunks): every scan
+verifies the blocks it touches before serving a single cell, so a
+rotted block raises :class:`~repro.errors.ChecksumError` instead of
+silently returning wrong bytes.  The scheduled scrubber uses
+:meth:`StoreFile.verify` to find corrupt blocks proactively and either
+rebuilds them from the WAL archive (:meth:`StoreFile.rebuild_block`,
+accepted only when the rebuilt bytes reproduce the original checksum)
+or quarantines them (:meth:`StoreFile.quarantine_block`) so reads
+degrade loudly rather than lie.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import zlib
+from dataclasses import dataclass
+
 import bisect
 import heapq
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import StorageError
+from ..errors import ChecksumError, StorageError
 from .cell import Cell
+
+#: Cells per checksummed block.  Small enough that a single flipped bit
+#: quarantines little data, large enough that checksum bookkeeping is
+#: negligible next to the cells themselves.
+BLOCK_CELLS = 64
+
+
+def _cell_payload(cell: Cell) -> bytes:
+    return b"|".join(
+        (
+            cell.row,
+            cell.family.encode("utf-8"),
+            cell.qualifier,
+            str(cell.timestamp).encode("ascii"),
+            cell.value,
+            b"1" if cell.is_delete else b"0",
+        )
+    )
+
+
+def _block_crc(cells: Sequence[Cell]) -> int:
+    crc = 0
+    for cell in cells:
+        crc = zlib.crc32(_cell_payload(cell), crc)
+    return crc
+
+
+@dataclass
+class _Block:
+    """Checksum metadata for one run of cells inside a store file."""
+
+    lo: int            # index of the block's first cell in _cells
+    count: int         # cells in the block
+    crc: int           # CRC32 over the cells' payloads at write time
+    first_key: tuple   # sort_key of the first cell
+    last_key: tuple    # sort_key of the last cell
+    verified: bool = False     # lazily set by the first read that checks
+    quarantined: bool = False  # scrubber gave up: serve loud errors
 
 
 class _BloomFilter:
@@ -51,7 +105,10 @@ class StoreFile:
 
     _next_id = 0
 
-    def __init__(self, cells: Sequence[Cell]) -> None:
+    def __init__(self, cells: Sequence[Cell],
+                 block_cells: int = BLOCK_CELLS) -> None:
+        if block_cells < 1:
+            raise StorageError("block_cells must be >= 1")
         cells = list(cells)
         keys = [c.sort_key() for c in cells]
         if keys != sorted(keys):
@@ -63,8 +120,140 @@ class StoreFile:
             self._bloom.add(cell.row)
         self.first_row: Optional[bytes] = cells[0].row if cells else None
         self.last_row: Optional[bytes] = cells[-1].row if cells else None
+        self._block_cells = block_cells
+        self._blocks: List[_Block] = []
+        for lo in range(0, len(cells), block_cells):
+            chunk = cells[lo : lo + block_cells]
+            self._blocks.append(
+                _Block(lo=lo, count=len(chunk), crc=_block_crc(chunk),
+                       first_key=keys[lo], last_key=keys[lo + len(chunk) - 1])
+            )
         StoreFile._next_id += 1
         self.file_id = StoreFile._next_id
+
+    # -- checksum machinery ----------------------------------------------
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    def block_ranges(self) -> List[Tuple[tuple, tuple]]:
+        """``(first_key, last_key)`` of every block, in file order."""
+        return [(b.first_key, b.last_key) for b in self._blocks]
+
+    def _block_ok(self, block: _Block) -> bool:
+        cells = self._cells[block.lo : block.lo + block.count]
+        return len(cells) == block.count and _block_crc(cells) == block.crc
+
+    def _check_block(self, block: _Block) -> None:
+        """Verify one block before its cells are served (memoized)."""
+        if block.quarantined:
+            raise ChecksumError(
+                "store file %d: block at cell %d is quarantined"
+                % (self.file_id, block.lo)
+            )
+        if block.verified:
+            return
+        if not self._block_ok(block):
+            raise ChecksumError(
+                "store file %d: block at cell %d failed checksum"
+                % (self.file_id, block.lo)
+            )
+        block.verified = True
+
+    def _check_span(self, lo: int, hi: int) -> None:
+        """Verify every block overlapping the cell index span [lo, hi).
+
+        A span reaching the current end of the file also verifies the
+        final block even when its cells are gone — a torn tail shrinks
+        ``_cells``, and an end-of-file scan must fail loudly rather than
+        silently return a shortened file.
+        """
+        if lo >= hi:
+            return
+        first = lo // self._block_cells
+        if hi >= len(self._cells):
+            last = len(self._blocks) - 1
+        else:
+            last = (hi - 1) // self._block_cells
+        for block in self._blocks[first : last + 1]:
+            self._check_block(block)
+
+    def verify(self) -> List[int]:
+        """Scrub pass: re-checksum every block, returning corrupt indices.
+
+        Unlike the read path this never raises — the scrubber wants the
+        full damage report, not the first failure.  Quarantined blocks
+        are reported too (they are still corrupt; they are just already
+        known to be).  Intact blocks are memoized as verified so later
+        reads skip the re-hash.
+        """
+        corrupt = []
+        for i, block in enumerate(self._blocks):
+            if block.quarantined or not self._block_ok(block):
+                block.verified = False
+                corrupt.append(i)
+            else:
+                block.verified = True
+        return corrupt
+
+    def rebuild_block(self, index: int, cells: Sequence[Cell]) -> bool:
+        """Replace a corrupt block with ``cells`` rebuilt from the WAL.
+
+        The repair is accepted only when the rebuilt run reproduces the
+        checksum recorded at write time — a wrong or partial candidate
+        set can therefore never be installed as a \"repair\".  Returns
+        ``True`` on success.
+        """
+        block = self._blocks[index]
+        cells = list(cells)
+        if len(cells) != block.count or _block_crc(cells) != block.crc:
+            return False
+        self._cells[block.lo : block.lo + block.count] = cells
+        self._keys[block.lo : block.lo + block.count] = [
+            c.sort_key() for c in cells
+        ]
+        block.verified = True
+        block.quarantined = False
+        return True
+
+    def quarantine_block(self, index: int) -> None:
+        """Mark an unrepairable block: reads touching it fail loudly."""
+        block = self._blocks[index]
+        block.quarantined = True
+        block.verified = False
+
+    # -- corruption injection (testing / fault injector) ------------------
+
+    def corrupt_block(self, index: int) -> None:
+        """Flip bits in one cell of a block, leaving the checksum stale.
+
+        The damaged cell is a *copy* with its value bit-flipped — the
+        original ``Cell`` object is never mutated, because WAL records
+        may hold the same object and the WAL must stay an intact repair
+        source.
+        """
+        block = self._blocks[index]
+        victim = self._cells[block.lo]
+        flipped = bytes(b ^ 0xFF for b in victim.value) or b"\xff"
+        self._cells[block.lo] = dataclasses.replace(victim, value=flipped)
+        block.verified = False
+
+    def tear_tail(self, drop: int = 1) -> int:
+        """Truncate the file mid-block (a torn write): drop final cells.
+
+        The last block's recorded count/CRC no longer match, so reads
+        of that block fail checksum until the scrubber repairs it from
+        the WAL.  Returns how many cells were dropped.
+        """
+        if not self._cells:
+            return 0
+        drop = min(drop, len(self._cells))
+        del self._cells[len(self._cells) - drop :]
+        del self._keys[len(self._keys) - drop :]
+        if self._blocks:
+            self._blocks[-1].verified = False
+        return drop
 
     def __len__(self) -> int:
         return len(self._cells)
@@ -102,6 +291,10 @@ class StoreFile:
 
         Both range ends resolve by binary search on the precomputed key
         list, so the inner loop carries no per-cell stop comparison.
+        Every block the range touches is checksum-verified (memoized)
+        before the first cell is yielded; a corrupt or quarantined block
+        raises :class:`~repro.errors.ChecksumError` up front rather than
+        serving damaged bytes.
         """
         if not self.overlaps_range(start_row, stop_row):
             return iter(())
@@ -111,11 +304,13 @@ class StoreFile:
         hi = len(self._cells)
         if stop_row is not None:
             hi = bisect.bisect_left(self._keys, (stop_row,), lo)
+        self._check_span(lo, hi)
         if lo == 0 and hi == len(self._cells):
             return iter(self._cells)
         return iter(self._cells[lo:hi])
 
     def cells(self) -> List[Cell]:
+        self._check_span(0, len(self._cells))
         return list(self._cells)
 
 

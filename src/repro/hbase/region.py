@@ -233,6 +233,53 @@ class Region:
         self._store_files[family] = list(files) + self._store_files[family]
         self.data_seqid += 1
 
+    def crash(self) -> int:
+        """Lose the memstores, as a region-server crash does.
+
+        Store files survive (they are \"on disk\") and the WAL survives
+        (it lives on the server log / its own object) — exactly the
+        durable/volatile split recovery depends on.  Returns how many
+        memstore cells were dropped; the supervisor replays them from
+        the WAL before the region reopens.
+        """
+        dropped = 0
+        for store in self._memstores.values():
+            dropped += len(store)
+            store.clear()
+        self.data_seqid += 1
+        return dropped
+
+    def replay_cells(self, cells: Sequence[Cell]) -> int:
+        """Rebuild memstore state from already-logged cells (recovery).
+
+        Unlike :meth:`put`, nothing is re-appended to the WAL — these
+        cells are *from* the WAL, and logging them again would double
+        them on the next replay.  No flush is triggered either; the
+        supervisor decides when the recovered region flushes.  Returns
+        the number of cells applied.
+        """
+        applied = 0
+        for cell in cells:
+            if not self.contains_row(cell.row):
+                raise StorageError(
+                    "row %r outside region range [%r, %r)"
+                    % (cell.row, self.start_key, self.end_key)
+                )
+            self._memstore(cell.family).put(cell)
+            applied += 1
+        if applied:
+            self.write_count += applied
+            self.data_seqid += applied
+        return applied
+
+    def store_files_for(self, family: str) -> List[StoreFile]:
+        """The family's live store files (scrubber access; do not mutate)."""
+        return list(self._store_files[self._require_family(family)])
+
+    def _require_family(self, family: str) -> str:
+        self._memstore(family)  # raises ColumnFamilyNotFoundError
+        return family
+
     def compact(self, family: Optional[str] = None) -> None:
         """Major compaction: merge all runs, apply tombstones, keep only
         the newest version of each cell."""

@@ -1,4 +1,4 @@
-"""Write-ahead log for region durability.
+"""Write-ahead logs for region durability.
 
 HBase acknowledges a write only after it reaches the WAL; if a region
 server dies, the memstore's unflushed cells are rebuilt by replaying the
@@ -9,13 +9,28 @@ simulated crash of the region that writes to it.
 Log records are framed with a sequence number and a CRC so replay can
 detect (and stop at) a torn tail — the failure mode a real crash leaves
 behind.
+
+Two log shapes live here:
+
+- :class:`WriteAheadLog` — a plain per-region log (the seed behavior,
+  still what the streaming ingest tier attaches when no supervisor is
+  running);
+- :class:`ServerWAL` + :class:`RegionWALHandle` — the HBase-faithful
+  arrangement the cluster supervisor installs: ONE durable log per
+  region *server*, shared by every region placed there, with each
+  record tagged by its region.  When the server dies, recovery splits
+  the log by region (:meth:`ServerWAL.split_by_region`) and replays
+  each region's committed-but-unflushed suffix on its new home — the
+  genuine log-split recovery a real master performs.  The handle gives
+  each region the exact :class:`WriteAheadLog` interface, so regions
+  and the ingest tier's fold watermarks work unchanged on either shape.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import StorageError
 from .cell import Cell
@@ -156,3 +171,233 @@ class WriteAheadLog:
         self._records[-1] = WALRecord(
             sequence=last.sequence, cell=last.cell, crc=last.crc ^ 0xFFFF
         )
+
+    def drop_torn_tail(self) -> int:
+        """Discard the invalid suffix of the log; returns how many records.
+
+        Replay already *ignores* a torn tail; dropping it additionally
+        reclaims the space and lets subsequent appends produce a log
+        whose every record is valid again.  The scrubber calls this when
+        its WAL-tail pass finds torn records.
+        """
+        for i, record in enumerate(self._records):
+            if not record.is_valid():
+                dropped = len(self._records) - i
+                del self._records[i:]
+                return dropped
+        return 0
+
+
+class ServerWAL:
+    """One durable write-ahead log per region *server* (HBase-faithful).
+
+    Every region placed on the server appends to this single log through
+    its :class:`RegionWALHandle`; records are kept per region internally
+    so that :meth:`split_by_region` — the master's log split during
+    recovery — is a dictionary read, not a scan.
+
+    Truncation (after a region flush) moves records into a bounded
+    per-region *archive* instead of discarding them: flushed records are
+    no longer needed for crash replay, but they are the only intact copy
+    of a cell once a store-file block rots, so the scrubber repairs
+    corrupt blocks from here.  The archive is capped per region
+    (``archive_capacity`` records, oldest evicted first) so a long-lived
+    server cannot hold the whole table in log form.
+    """
+
+    def __init__(self, node_id: int, archive_capacity: int = 65536) -> None:
+        if archive_capacity < 0:
+            raise StorageError("archive_capacity must be >= 0")
+        self.node_id = node_id
+        self.archive_capacity = archive_capacity
+        self._by_region: Dict[int, List[WALRecord]] = {}
+        self._archive: Dict[int, List[WALRecord]] = {}
+        #: Sync boundaries crossed on this server's log (group-commit
+        #: ledger, summed across every region writing here).
+        self.sync_count = 0
+
+    # -- write path (called by RegionWALHandle) --------------------------
+
+    def append_record(self, region_id: int, record: WALRecord) -> None:
+        self._by_region.setdefault(region_id, []).append(record)
+
+    def mark_sync(self) -> None:
+        self.sync_count += 1
+
+    # -- read / recovery -------------------------------------------------
+
+    def records_for(self, region_id: int) -> List[WALRecord]:
+        """The region's live (not yet flushed/archived) records, in order."""
+        return self._by_region.get(region_id, [])
+
+    def archived_for(self, region_id: int) -> List[WALRecord]:
+        """Flushed records retained for scrub repair, oldest first."""
+        return self._archive.get(region_id, [])
+
+    def region_ids(self) -> List[int]:
+        return sorted(set(self._by_region) | set(self._archive))
+
+    def split_by_region(self) -> Dict[int, List[WALRecord]]:
+        """Log split: the live records of every region, keyed by region.
+
+        This is what the supervisor walks when the server is declared
+        dead — each region's committed-but-unflushed suffix, ready to be
+        replayed on that region's new home.
+        """
+        return {rid: list(records)
+                for rid, records in self._by_region.items() if records}
+
+    # -- maintenance ------------------------------------------------------
+
+    def truncate_region(self, region_id: int, sequence: int) -> int:
+        """Archive the region's records with sequence <= ``sequence``.
+
+        Returns how many records moved.  Only valid records are worth
+        archiving — a torn record can never seed a repair.
+        """
+        live = self._by_region.get(region_id)
+        if not live:
+            return 0
+        keep = [r for r in live if r.sequence > sequence]
+        moved = [r for r in live if r.sequence <= sequence and r.is_valid()]
+        count = len(live) - len(keep)
+        if keep:
+            self._by_region[region_id] = keep
+        else:
+            self._by_region.pop(region_id, None)
+        if moved and self.archive_capacity:
+            archive = self._archive.setdefault(region_id, [])
+            archive.extend(moved)
+            if len(archive) > self.archive_capacity:
+                del archive[: len(archive) - self.archive_capacity]
+        return count
+
+    def adopt(self, region_id: int, live: Sequence[WALRecord],
+              archived: Sequence[WALRecord]) -> None:
+        """Take ownership of a region's records (rehoming after a move)."""
+        if live:
+            self._by_region.setdefault(region_id, []).extend(live)
+        if archived and self.archive_capacity:
+            archive = self._archive.setdefault(region_id, [])
+            archive.extend(archived)
+            if len(archive) > self.archive_capacity:
+                del archive[: len(archive) - self.archive_capacity]
+
+    def remove_region(self, region_id: int) -> Tuple[List[WALRecord], List[WALRecord]]:
+        """Detach a region's records entirely; returns (live, archived)."""
+        return (
+            self._by_region.pop(region_id, []),
+            self._archive.pop(region_id, []),
+        )
+
+
+class RegionWALHandle:
+    """A region's view of its server's shared :class:`ServerWAL`.
+
+    Presents the exact :class:`WriteAheadLog` interface — ``append``,
+    ``append_batch``, ``truncate_to``, ``replay``, ``records_after``,
+    ``last_sequence``, ``sync_count`` — so :class:`~repro.hbase.region.Region`
+    and the streaming ingest tier's fold watermarks work unchanged.  The
+    sequence counter is owned by the handle (per-region sequences, as in
+    HBase), while durability and storage live on whichever server the
+    region is currently placed on.  :meth:`rehome` re-points the handle
+    at a new server after the supervisor moves the region, carrying the
+    region's records along.
+    """
+
+    def __init__(self, server: "ServerWAL", region_id: int) -> None:
+        self._server = server
+        self.region_id = region_id
+        self._next_sequence = 1
+        #: Sync boundaries attributable to THIS region's writes (the
+        #: per-region ledger the ingest tier's group-commit accounting
+        #: reads); the server additionally keeps a cluster-visible sum.
+        self.sync_count = 0
+
+    @property
+    def server(self) -> "ServerWAL":
+        return self._server
+
+    def append(self, cell: Cell) -> int:
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        self._server.append_record(
+            self.region_id,
+            WALRecord(sequence=sequence, cell=cell,
+                      crc=WALRecord.checksum(sequence, cell)),
+        )
+        self.sync_count += 1
+        self._server.mark_sync()
+        return sequence
+
+    def append_batch(self, cells: Sequence[Cell]) -> Tuple[int, int]:
+        if not cells:
+            return (0, 0)
+        first = self._next_sequence
+        sequence = first
+        checksum = WALRecord.checksum
+        append = self._server.append_record
+        rid = self.region_id
+        for cell in cells:
+            append(rid, WALRecord(sequence=sequence, cell=cell,
+                                  crc=checksum(sequence, cell)))
+            sequence += 1
+        self._next_sequence = sequence
+        self.sync_count += 1
+        self._server.mark_sync()
+        return (first, sequence - 1)
+
+    def __len__(self) -> int:
+        return len(self._server.records_for(self.region_id))
+
+    @property
+    def last_sequence(self) -> int:
+        return self._next_sequence - 1
+
+    def truncate_to(self, sequence: int) -> int:
+        return self._server.truncate_region(self.region_id, sequence)
+
+    def replay(self) -> Iterator[Cell]:
+        for record in self._server.records_for(self.region_id):
+            if not record.is_valid():
+                break
+            yield record.cell
+
+    def records_after(self, sequence: int) -> Iterator[WALRecord]:
+        for record in self._server.records_for(self.region_id):
+            if not record.is_valid():
+                break
+            if record.sequence > sequence:
+                yield record
+
+    def corrupt_tail(self) -> None:
+        records = self._server.records_for(self.region_id)
+        if not records:
+            raise StorageError("cannot corrupt an empty log")
+        last = records[-1]
+        records[-1] = WALRecord(
+            sequence=last.sequence, cell=last.cell, crc=last.crc ^ 0xFFFF
+        )
+
+    def drop_torn_tail(self) -> int:
+        records = self._server.records_for(self.region_id)
+        for i, record in enumerate(records):
+            if not record.is_valid():
+                dropped = len(records) - i
+                del records[i:]
+                return dropped
+        return 0
+
+    def rehome(self, new_server: "ServerWAL") -> None:
+        """Move this region's records (live + archived) to ``new_server``.
+
+        Called by the supervisor when the region's placement changes —
+        either a planned move (the region is flushed first, so only the
+        archive travels) or dead-server recovery (the split-out live
+        suffix travels too, for replay on the new home).
+        """
+        if new_server is self._server:
+            return
+        live, archived = self._server.remove_region(self.region_id)
+        new_server.adopt(self.region_id, live, archived)
+        self._server = new_server

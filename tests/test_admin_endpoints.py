@@ -185,7 +185,8 @@ class TestAdminHealth:
         assert set(by_name) == {
             "personalized_p99_latency", "ingest_freshness",
             "fanout_coverage", "degraded_query_rate",
-            "backpressure_shed_rate",
+            "backpressure_shed_rate", "storage_integrity",
+            "recovery_mttr",
         }
         slo = by_name["fanout_coverage"]
         for key in ("state", "target", "fast_burn", "slow_burn",
@@ -245,6 +246,61 @@ class TestAdminEvents:
         events = out["data"]["events"]
         assert len(events) == 1
         assert events[0]["interesting"] is True
+
+
+class TestAdminSupervisor:
+    def test_disabled_shape(self, api):
+        rest, _p = api
+        out = rest.handle("admin_supervisor", {})
+        assert out["status"] == "ok"
+        assert out["data"] == {"enabled": False}
+
+    def test_enabled_shape_and_drill(self):
+        from repro.config import SupervisorConfig
+
+        cfg = _config()
+        cfg = dataclasses.replace(
+            cfg, supervisor=SupervisorConfig(enabled=True)
+        )
+        p = MoDisSENSE(cfg)
+        for uid in range(1, 10):
+            p.visits_repository.store(VisitStruct(
+                user_id=uid, poi_id=1, timestamp=uid, grade=0.5,
+                poi_name="A", lat=37.98, lon=23.73, keywords=("x",),
+            ))
+        rest = RestApi(p)
+        try:
+            out = rest.handle("admin_supervisor", {})
+            assert out["status"] == "ok"
+            data = out["data"]
+            assert data["enabled"] is True
+            assert {"leases", "history", "describe"} <= set(data)
+            assert len(data["leases"]) == p.config.cluster.num_nodes
+            assert all(row["live"] for row in data["leases"])
+            assert data["history"] == []
+            assert data["describe"]["supervised_regions"] > 0
+
+            drilled = rest.handle("admin_supervisor", {"drill": True})
+            assert drilled["status"] == "ok"
+            record = drilled["data"]["drill"]
+            assert record["drill"] is True
+            assert record["mttr_s"] >= 0.0
+            assert drilled["data"]["history"]  # the drill is on record
+            # The crashed node stays down (rejoin is separate); its
+            # regions were re-homed, so service is whole regardless.
+            dead = [r for r in drilled["data"]["leases"] if not r["live"]]
+            assert len(dead) == 1 and dead[0]["declared_dead"]
+            whole = _search(rest)
+            assert whole["data"].get("degraded") in (False, None)
+
+            scrubbed = rest.handle("admin_supervisor", {"scrub": True})
+            assert scrubbed["status"] == "ok"
+            assert "blocks_scanned" in scrubbed["data"]["scrub"]
+
+            bad = rest.handle("admin_supervisor", {"node": 99, "drill": True})
+            assert bad["status"] == "error"
+        finally:
+            p.shutdown()
 
 
 class TestTelemetryDisabled:

@@ -212,7 +212,8 @@ class TestEndpoints:
         assert "admin_health" in endpoints
         assert "admin_profile" in endpoints
         assert "admin_events" in endpoints
-        assert len(endpoints) == 20
+        assert "admin_supervisor" in endpoints
+        assert len(endpoints) == 21
 
     def test_explain_endpoint(self, api):
         rest, p = api

@@ -353,6 +353,31 @@ class TestCacheMechanics:
         finally:
             stack.shutdown()
 
+    def test_node_recovery_invalidates_moved_regions(self):
+        # Symmetric with failure: recovery moves regions *back* to the
+        # revived node, so partials cached while the survivors hosted
+        # them must be dropped too.
+        stack = _Stack()
+        try:
+            rng = random.Random(9)
+            for _ in range(40):
+                stack.write(rng)
+            query = SearchQuery(
+                friend_ids=tuple(range(1, stack.users + 1)), sort_by="hotness"
+            )
+            stack.cluster.fail_node(0)
+            stack.qa.search(query)  # cache partials on the survivors
+            assert len(stack.scan_cache) > 0
+            before = stack.scan_cache.stats()["invalidations"]
+            stack.cluster.recover_node(0)
+            assert stack.scan_cache.stats()["invalidations"] > before
+            after = stack.qa.search(query)
+            assert _pois_fingerprint(after) == _pois_fingerprint(
+                stack.oracle(query)
+            )
+        finally:
+            stack.shutdown()
+
 
 class TestHotPOICache:
     def test_epoch_bump_invalidates(self):

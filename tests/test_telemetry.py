@@ -231,7 +231,7 @@ class TestSLOEngine:
     def test_default_slos_are_valid_and_unique(self):
         specs = default_slos()
         names = [s.name for s in specs]
-        assert len(names) == len(set(names)) == 5
+        assert len(names) == len(set(names)) == 7
         assert "fanout_coverage" in names
         assert "ingest_freshness" in names
         store = TimeSeriesStore()
