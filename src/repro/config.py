@@ -439,6 +439,132 @@ class SupervisorConfig:
             raise ConfigError("wal_archive_capacity cannot be negative")
 
 
+@dataclass
+class AdmissionConfig:
+    """Knobs of the overload-protection layer (``repro.core.admission``).
+
+    **Off by default**: with ``enabled=False`` no controller is
+    constructed and every request path is byte-identical to a build
+    without the layer.  With it on but un-triggered (no overload), the
+    only added work per request is a ticket acquire/release — answers
+    stay byte-identical; the ``overload-smoke`` CI job gates the
+    overhead at ≤10%.
+
+    Four coupled mechanisms: a gradient/AIMD concurrency limiter per
+    priority class (interactive > admin > background), per-client
+    token-bucket rate limits at the REST boundary, a global retry
+    budget gating the fan-out's retry/hedge paths, and a brownout
+    ladder that degrades (stale cache answers, shrunk scans, paused
+    background jobs, ingest shed) before it rejects.
+    """
+
+    #: Master switch; off constructs nothing.
+    enabled: bool = False
+
+    # ---- adaptive concurrency limiter (per priority class) ----
+    #: Starting concurrency limit of each class's limiter.
+    initial_limit: int = 32
+    min_limit: int = 2
+    max_limit: int = 256
+    #: Share of the interactive limit the admin / background classes
+    #: start from (each class runs its own AIMD loop afterwards).
+    admin_weight: float = 0.5
+    background_weight: float = 0.25
+    #: A window's median latency beyond ``tolerance x baseline`` is
+    #: treated as congestion: multiplicative decrease.  At or below it,
+    #: additive increase.
+    latency_tolerance: float = 2.0
+    decrease_factor: float = 0.7
+    increase_step: float = 1.0
+    #: Completions per AIMD adjustment window.
+    sample_window: int = 16
+    #: Fixed uncongested-latency baseline (wall ms).  None learns it
+    #: online as the smallest windowed median seen (with a slow upward
+    #: drift so regime changes are eventually adopted).
+    baseline_latency_ms: Optional[float] = None
+
+    # ---- per-client token buckets (REST boundary) ----
+    #: Sustained requests/second allowed per ``client_id``; requests
+    #: without a client id skip the bucket (the limiter still applies).
+    client_rate: float = 200.0
+    client_burst: float = 400.0
+    #: LRU-bounded number of per-client buckets kept.
+    max_clients: int = 1024
+
+    # ---- global retry budget (fan-out retries + hedges) ----
+    #: Retries+hedges allowed as a fraction of recent region requests.
+    retry_budget_ratio: float = 0.1
+    #: Sliding window the ratio is measured over (wall seconds).
+    retry_budget_window_s: float = 10.0
+    #: Floor so cold-start / low-traffic retries still work.
+    retry_budget_min_tokens: int = 5
+
+    # ---- brownout ladder ----
+    #: Ladder evaluation period (simulated seconds; driven by the
+    #: platform scheduler's ``admission_tick`` job).
+    tick_period_s: float = 1.0
+    #: A tick is "overloaded" when the window's rejection rate exceeds
+    #: this, or the interactive latency signal exceeds
+    #: ``brownout_latency_factor x baseline``.
+    brownout_reject_rate: float = 0.05
+    brownout_latency_factor: float = 3.0
+    #: Consecutive overloaded ticks before escalating one level, and
+    #: calm ticks before recovering one level (hysteresis).
+    escalate_ticks: int = 2
+    recover_ticks: int = 3
+    #: Scan shaping applied at the SHRINK level and above: cap each
+    #: region's shipped partial list and the query's k.
+    brownout_per_region_limit: int = 64
+    brownout_max_k: int = 5
+
+    def __post_init__(self) -> None:
+        if self.min_limit < 1:
+            raise ConfigError("min_limit must be >= 1")
+        if not self.min_limit <= self.initial_limit <= self.max_limit:
+            raise ConfigError(
+                "need min_limit <= initial_limit <= max_limit, got %r/%r/%r"
+                % (self.min_limit, self.initial_limit, self.max_limit)
+            )
+        for name in ("admin_weight", "background_weight"):
+            if not 0.0 < getattr(self, name) <= 1.0:
+                raise ConfigError("%s must be in (0, 1]" % name)
+        if self.latency_tolerance < 1.0:
+            raise ConfigError("latency_tolerance must be >= 1")
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise ConfigError("decrease_factor must be in (0, 1)")
+        if self.increase_step <= 0:
+            raise ConfigError("increase_step must be positive")
+        if self.sample_window < 1:
+            raise ConfigError("sample_window must be >= 1")
+        if (
+            self.baseline_latency_ms is not None
+            and self.baseline_latency_ms <= 0
+        ):
+            raise ConfigError("baseline_latency_ms must be positive or None")
+        if self.client_rate <= 0 or self.client_burst <= 0:
+            raise ConfigError("client_rate/client_burst must be positive")
+        if self.max_clients < 1:
+            raise ConfigError("max_clients must be >= 1")
+        if not 0.0 < self.retry_budget_ratio <= 1.0:
+            raise ConfigError("retry_budget_ratio must be in (0, 1]")
+        if self.retry_budget_window_s <= 0:
+            raise ConfigError("retry_budget_window_s must be positive")
+        if self.retry_budget_min_tokens < 0:
+            raise ConfigError("retry_budget_min_tokens cannot be negative")
+        if self.tick_period_s <= 0:
+            raise ConfigError("tick_period_s must be positive")
+        if not 0.0 < self.brownout_reject_rate < 1.0:
+            raise ConfigError("brownout_reject_rate must be in (0, 1)")
+        if self.brownout_latency_factor < 1.0:
+            raise ConfigError("brownout_latency_factor must be >= 1")
+        if self.escalate_ticks < 1 or self.recover_ticks < 1:
+            raise ConfigError("escalate/recover tick counts must be >= 1")
+        if self.brownout_per_region_limit < 1:
+            raise ConfigError("brownout_per_region_limit must be >= 1")
+        if self.brownout_max_k < 1:
+            raise ConfigError("brownout_max_k must be >= 1")
+
+
 @dataclass(frozen=True)
 class SLOSpec:
     """One declarative service-level objective.
@@ -504,8 +630,19 @@ class SLOSpec:
 
 
 def default_slos() -> Tuple[SLOSpec, ...]:
-    """The platform's seven stock SLOs (tune or replace per deployment)."""
+    """The platform's eight stock SLOs (tune or replace per deployment)."""
     return (
+        SLOSpec(
+            name="goodput",
+            kind="ratio",
+            bad_series="admission.rejected",
+            total_series="admission.offered",
+            target=0.80,
+            description="Requests shed by admission control.  The 20% "
+                        "budget is sized for brownout (shed-before-"
+                        "collapse), not normal operation — any burn at "
+                        "all means the platform is rejecting work.",
+        ),
         SLOSpec(
             name="personalized_p99_latency",
             kind="threshold",
@@ -653,6 +790,7 @@ class PlatformConfig:
     ingest: IngestConfig = field(default_factory=IngestConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     #: Seed for all synthetic-data randomness; fixed for reproducibility.
     seed: int = 2015
 

@@ -14,12 +14,17 @@ This package is the paper's primary contribution — everything in Figure
 """
 
 from .platform import MoDisSENSE
+from .admission import AdmissionController, GradientLimiter, RetryBudget, TokenBucket
 from .faults import FaultInjector
 from .modules.query_answering import SearchQuery, SearchResult, ScoredPOI
 from .tracing import Tracer
 
 __all__ = [
     "MoDisSENSE",
+    "AdmissionController",
+    "GradientLimiter",
+    "RetryBudget",
+    "TokenBucket",
     "FaultInjector",
     "SearchQuery",
     "SearchResult",

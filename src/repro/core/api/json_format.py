@@ -23,6 +23,11 @@ class ApiResponse:
     data: Any = None
     error: Optional[str] = None
     code: Optional[str] = None
+    #: Backoff hint (seconds) carried by overload rejections — the JSON
+    #: twin of an HTTP 429's ``Retry-After`` header.  None (the usual
+    #: case) keeps the envelope byte-identical to the pre-admission
+    #: shape.
+    retry_after_s: Optional[float] = None
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"status": self.status}
@@ -30,6 +35,8 @@ class ApiResponse:
             out["data"] = self.data
         elif self.code is not None:
             out["error"] = {"code": self.code, "message": self.error}
+            if self.retry_after_s is not None:
+                out["error"]["retry_after_s"] = self.retry_after_s
         else:
             out["error"] = self.error
         return out
@@ -39,8 +46,18 @@ class ApiResponse:
         return cls(status="ok", data=data)
 
     @classmethod
-    def fail(cls, message: str, code: Optional[str] = None) -> "ApiResponse":
-        return cls(status="error", error=message, code=code)
+    def fail(
+        cls,
+        message: str,
+        code: Optional[str] = None,
+        retry_after_s: Optional[float] = None,
+    ) -> "ApiResponse":
+        return cls(
+            status="error",
+            error=message,
+            code=code,
+            retry_after_s=retry_after_s,
+        )
 
 
 #: endpoint -> {field: (type(s), required)}
@@ -66,6 +83,12 @@ REQUEST_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "until": (int, False),
         "sort_by": (str, False),
         "limit": (int, False),
+        # End-to-end deadline (ms): propagated through the fan-out and
+        # armed as cooperative cancellation on every region scan.
+        "deadline_ms": ((int, float), False),
+        # Caller identity for per-client rate limiting (admission layer;
+        # ignored when admission is off).
+        "client_id": (str, False),
     },
     "trending": {
         "now": (int, True),
@@ -73,9 +96,11 @@ REQUEST_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "bbox": (list, False),
         "friend_ids": (list, False),
         "limit": (int, False),
+        "client_id": (str, False),
     },
     "push_gps": {
         "points": (list, True),
+        "client_id": (str, False),
     },
     "generate_blog": {
         "user_id": (int, True),
@@ -144,6 +169,10 @@ REQUEST_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "node": (int, False),
         "scrub": (bool, False),
         "limit": (int, False),
+    },
+    "admin_admission": {
+        "force_level": (int, False),
+        "reset": (bool, False),
     },
     "explain": {
         "bbox": (list, False),

@@ -8,6 +8,7 @@ see stack traces.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Tuple, Type
 
 from ... import threadreg
@@ -16,6 +17,8 @@ from ...errors import (
     AuthenticationError,
     ConfigError,
     CoprocessorError,
+    OverloadedError,
+    QueryCancelled,
     QueryDeadlineExceeded,
     QueryError,
     RegionUnavailableError,
@@ -37,6 +40,8 @@ ERROR_CODES: Tuple[Tuple[Type[ReproError], str], ...] = (
     (ValidationError, "bad_request"),
     (AuthenticationError, "auth_failed"),
     (QueryDeadlineExceeded, "deadline_exceeded"),
+    (QueryCancelled, "cancelled"),
+    (OverloadedError, "overloaded"),
     (RegionUnavailableError, "region_unavailable"),
     (QueryError, "bad_query"),
     (TableNotFoundError, "not_found"),
@@ -44,6 +49,41 @@ ERROR_CODES: Tuple[Tuple[Type[ReproError], str], ...] = (
     (ConfigError, "config"),
     (StorageError, "storage"),
 )
+
+#: Priority class each endpoint's requests are admitted under (the
+#: admission layer rejects the tail of interactive > admin > background
+#: first).  Unlisted endpoints default to interactive.
+ENDPOINT_PRIORITY: Dict[str, str] = {
+    "search": "interactive",
+    "trending": "interactive",
+    "friends": "interactive",
+    "get_blogs": "interactive",
+    "explain": "interactive",
+    "register": "background",
+    "link_network": "background",
+    "push_gps": "background",
+    "generate_blog": "background",
+    "update_blog": "background",
+    "publish_blog": "background",
+    "admin_describe": "admin",
+    "admin_metrics": "admin",
+    "admin_traces": "admin",
+    "admin_cache": "admin",
+    "admin_ingest": "admin",
+    "admin_timeseries": "admin",
+    "admin_profile": "admin",
+    "admin_events": "admin",
+    "admin_supervisor": "admin",
+}
+
+#: Never gated: the operator must be able to read health and steer the
+#: admission layer *during* the overload it is managing.
+ADMISSION_EXEMPT = frozenset({"admin_admission", "admin_health"})
+
+#: Endpoints whose wall latency feeds the AIMD limiters — the
+#: latency-bearing query paths; metadata and admin calls would only
+#: pollute the congestion signal.
+LATENCY_FED = frozenset({"search", "trending"})
 
 
 def error_code(exc: BaseException) -> str:
@@ -80,6 +120,7 @@ class RestApi:
             "admin_profile": self._admin_profile,
             "admin_events": self._admin_events,
             "admin_supervisor": self._admin_supervisor,
+            "admin_admission": self._admin_admission,
             "explain": self._explain,
         }
         #: Observability sinks: auto-wired from the platform (which owns
@@ -89,10 +130,19 @@ class RestApi:
         self._tracer = getattr(platform, "tracer", None)
 
     def handle(self, endpoint: str, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Dispatch one request; always returns a response envelope."""
+        """Dispatch one request; always returns a response envelope.
+
+        With the admission layer on, every non-exempt request acquires
+        a ticket first — a rejection is the ``overloaded`` envelope
+        (HTTP 429's JSON twin, ``retry_after_s`` included) and the
+        handler never runs.  With it off (the default) the path is
+        byte-identical to a build without admission.
+        """
         # Attribute profiler samples taken during this request to the
         # REST tier (restores the caller's component on the way out).
         previous_component = threadreg.push_component("rest")
+        ticket = None
+        started = 0.0
         try:
             handler = self._routes.get(endpoint)
             if handler is None:
@@ -100,6 +150,13 @@ class RestApi:
                     "unknown endpoint %r" % endpoint, code="unknown_endpoint"
                 ).as_dict()
             validate_request(endpoint, request)
+            admission = getattr(self.platform, "admission", None)
+            if admission is not None and endpoint not in ADMISSION_EXEMPT:
+                ticket = admission.admit(
+                    ENDPOINT_PRIORITY.get(endpoint, "interactive"),
+                    client_id=request.get("client_id"),
+                )
+                started = time.perf_counter()
             if self._metrics is not None:
                 self._metrics.increment(
                     "api.requests", labels={"endpoint": endpoint}
@@ -115,8 +172,18 @@ class RestApi:
                     "api.errors_by_code",
                     labels={"endpoint": endpoint, "code": code},
                 )
-            return ApiResponse.fail(str(exc), code=code).as_dict()
+            return ApiResponse.fail(
+                str(exc),
+                code=code,
+                retry_after_s=getattr(exc, "retry_after_s", None),
+            ).as_dict()
         finally:
+            if ticket is not None:
+                ticket.finish(
+                    (time.perf_counter() - started) * 1e3
+                    if endpoint in LATENCY_FED
+                    else None
+                )
             threadreg.pop_component(previous_component)
 
     def handle_json(self, endpoint: str, body: str) -> str:
@@ -180,6 +247,7 @@ class RestApi:
             until=req.get("until"),
             sort_by=req.get("sort_by", "interest"),
             limit=req.get("limit", 10),
+            deadline_ms=req.get("deadline_ms"),
         )
         result = self.platform.search(query)
         return {
@@ -399,6 +467,23 @@ class RestApi:
         out["history"] = supervisor.recovery_history[-limit:]
         out["describe"] = supervisor.describe()
         return out
+
+    def _admin_admission(self, req: Dict) -> Dict:
+        """Admission-controller state and drill controls.
+
+        ``force_level`` pins the brownout ladder at a rung (0–5) until
+        ``reset`` releases it — the operator's manual brownout and the
+        overload drill's lever.  Never gated by admission itself: the
+        controls must work *during* the overload they manage.
+        """
+        admission = getattr(self.platform, "admission", None)
+        if admission is None:
+            return {"enabled": False}
+        if req.get("force_level") is not None:
+            admission.force_level(req["force_level"])
+        if req.get("reset"):
+            admission.reset()
+        return admission.describe()
 
     def _admin_traces(self, req: Dict) -> Dict:
         """Recent span trees (newest first); ``slow`` selects the

@@ -191,6 +191,21 @@ class HotPOICache:
             self._emit("cache.hits")
             return rows
 
+    def get_stale(self, key: Hashable) -> Optional[Any]:
+        """The cached rows for ``key`` regardless of epoch/version —
+        the brownout ladder's level-1 trade: a stale hot-POI answer
+        (flagged degraded by the caller) instead of a rejection.  The
+        entry is *kept*: epoch bumps still purge, but a mismatched
+        version stamp is tolerated rather than dropped, so recovery
+        finds the cache warm."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            self._emit("cache.stale_serves")
+            return entry[2]
+
     def store(self, key: Hashable, version: int, rows: Any) -> None:
         with self._lock:
             self._entries[key] = (self._epoch, version, rows)

@@ -225,6 +225,11 @@ class StreamingIngestTier:
         self.batches = 0
         self.backpressure_events = 0
         self.shed = 0
+        #: Overload coupling (brownout ladder level 3+): while set, a
+        #: full queue sheds immediately even under the ``block`` policy
+        #: — producers must not pile up blocked threads while the query
+        #: tier is fighting for capacity.
+        self._shed_override = False
         self.apply_errors = 0
         self.recoveries = 0
         self.rebalances = 0
@@ -323,7 +328,7 @@ class StreamingIngestTier:
             )
         _region_id, partition = self._route(visit)
         cfg = self.config
-        block = cfg.backpressure == "block"
+        block = cfg.backpressure == "block" and not self._shed_override
         try:
             waited = self._queues[partition].offer(
                 visit, block=block, timeout_s=cfg.block_timeout_s
@@ -726,6 +731,23 @@ class StreamingIngestTier:
         if self.metrics is not None:
             self.metrics.increment(name, amount, labels=labels)
 
+    def set_shed_override(self, active: bool) -> None:
+        """Couple ingest to the overload signal (brownout level 3+).
+
+        While active, a full partition queue sheds immediately —
+        blocking-policy producers get the shed behaviour instead of a
+        bounded wait — so ingest pressure cannot hold threads hostage
+        while the serving tier is overloaded.  Level-triggered: callers
+        flip it on when the ladder escalates and off when it recovers.
+        """
+        if self._shed_override == active:
+            return
+        self._shed_override = active
+        self._emit_counter(
+            "ingest.shed_override",
+            labels={"active": str(active).lower()},
+        )
+
     def stats(self) -> Dict[str, Any]:
         with self._lock:
             partition_of = dict(self._partition_of)
@@ -761,6 +783,7 @@ class StreamingIngestTier:
                 "max_batch": self.config.max_batch,
                 "backpressure": self.config.backpressure,
             },
+            "shed_override": self._shed_override,
             "counters": counters,
             "partitions": partitions,
             "rebalance_log": list(self.rebalance_log),

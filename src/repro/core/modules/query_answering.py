@@ -45,6 +45,12 @@ class SearchQuery:
     until: Optional[int] = None
     sort_by: str = SORT_INTEREST
     limit: int = 10
+    #: Client-supplied end-to-end deadline (ms).  Propagated through the
+    #: fan-out, where it tightens the config deadline and arms
+    #: cooperative cancellation: region scans abort mid-scan once their
+    #: simulated spend blows the budget (the answer then degrades to the
+    #: surviving partials).  None — the default — changes nothing.
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.sort_by not in (SORT_INTEREST, SORT_HOTNESS):
@@ -53,6 +59,8 @@ class SearchQuery:
             )
         if self.limit < 1:
             raise QueryError("limit must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise QueryError("deadline_ms must be positive")
         self.keywords = tuple(k.lower() for k in self.keywords)
         self.friend_ids = tuple(self.friend_ids)
 
@@ -180,6 +188,10 @@ class VisitScanCoprocessor(Coprocessor):
         user_prefix = VisitsRepository.user_prefix
         decode_grade = VisitsRepository.decode_grade
         scan = context.scan_uncounted
+        #: Cooperative-cancellation probe cadence; None on the default
+        #: path keeps the per-cell loop token-free.
+        token = context.cancellation
+        check_every = token.check_every if token is not None else 0
 
         stage = context.trace("region.aggregate")
         for friend_id in request.friend_ids:
@@ -215,6 +227,19 @@ class VisitScanCoprocessor(Coprocessor):
                 )
                 for cell in scan(FAMILY, start, stop):
                     friend_cells += 1
+                    if token is not None and not (
+                        (cells_scanned + friend_cells) % check_every
+                    ):
+                        # Deadline-blown or abandoned queries stop here,
+                        # mid-scan, instead of finishing work nobody can
+                        # use.  Account the partial scan before raising
+                        # so the cost model still charges it.
+                        try:
+                            token.checkpoint(cells_scanned + friend_cells)
+                        except Exception:
+                            context.add_scanned(cells_scanned + friend_cells)
+                            context.count("cells_decoded", cells_decoded)
+                            raise
                     # Cheap key-only decode: poi id at fixed row offsets.
                     poi_id = int.from_bytes(cell.row[21:29], "big")
                     entry = partial.get(poi_id)
@@ -350,6 +375,7 @@ class QueryAnsweringModule:
         hot_poi_cache: Optional[HotPOICache] = None,
         coalesce: bool = False,
         event_log: Optional[object] = None,
+        admission: Optional[object] = None,
     ) -> None:
         self.pois = poi_repository
         self.visits = visits_repository
@@ -369,6 +395,11 @@ class QueryAnsweringModule:
         self.single_flight: Optional[SingleFlight] = (
             SingleFlight() if coalesce else None
         )
+        #: Optional admission controller (``repro.core.admission``).
+        #: Consulted for brownout query shaping (stale cache serves,
+        #: shrunk per-region partials, capped k); None — the default —
+        #: keeps every query exactly as shaped by its caller.
+        self.admission = admission
         self._coprocessor = VisitScanCoprocessor()
 
     # -------------------------------------------------------- public API
@@ -406,6 +437,7 @@ class QueryAnsweringModule:
             query.until,
             query.sort_by,
             query.limit,
+            query.deadline_ms,
         )
 
     def search_personalized_batch(
@@ -421,6 +453,15 @@ class QueryAnsweringModule:
         and regions owning no friends are never invoked.
         """
         tracer = self.tracer
+        #: Brownout query shaping (None outside a brownout): shrink each
+        #: region's shipped partial and cap k, trading exactness for
+        #: survival — results are flagged ``degraded``.
+        shape = (
+            self.admission.query_shape()
+            if self.admission is not None
+            else None
+        )
+        per_region_limit = shape["per_region_limit"] if shape else 0
         routed_requests = []
         route_items = []
         roots = []
@@ -435,7 +476,9 @@ class QueryAnsweringModule:
                 limit=query.limit,
             )
             with tracer.span("route", parent=root) as route_span:
-                routed = self._route_query(query)
+                routed = self._route_query(
+                    query, per_region_limit=per_region_limit
+                )
                 route_span.tag("regions_used", len(routed))
             routed_requests.append(routed)
             route_items.append(len(query.friend_ids))
@@ -444,6 +487,7 @@ class QueryAnsweringModule:
             # pass below; the HBase client parents every region.scan
             # span under it and adds straggler attribution.
             fanouts.append(tracer.span("fanout", parent=root))
+        deadlines = [query.deadline_ms for query in queries]
         calls = self.visits.cluster.coprocessor_exec_routed(
             self.visits.table.name,
             self._coprocessor,
@@ -451,6 +495,9 @@ class QueryAnsweringModule:
             route_items=route_items,
             tracer=tracer,
             trace_parents=fanouts,
+            deadlines=(
+                deadlines if any(d is not None for d in deadlines) else None
+            ),
         )
         results = []
         for query, call, root, fanout in zip(queries, calls, roots, fanouts):
@@ -460,8 +507,17 @@ class QueryAnsweringModule:
                 merge_span.tag("partials", len(call.result))
                 merge_span.tag("pois", len(merged))
             with tracer.span("rank", parent=root) as rank_span:
-                result = self._rank(query, merged, call)
+                result = self._rank(
+                    query, merged, call,
+                    max_k=shape["max_k"] if shape else None,
+                )
                 rank_span.tag("returned", len(result.pois))
+            if shape is not None:
+                # Browned-out answers are honest about being shaped:
+                # same flag partial-coverage answers carry.
+                result.degraded = True
+                if self.metrics is not None:
+                    self.metrics.increment("admission.browned_out")
             root.tag("latency_ms", call.latency_ms)
             root.tag("records_scanned", call.records_scanned)
             root.tag("regions_used", len(call.per_region_records))
@@ -521,7 +577,9 @@ class QueryAnsweringModule:
             }
         )
 
-    def _route_query(self, query: SearchQuery) -> Dict:
+    def _route_query(
+        self, query: SearchQuery, per_region_limit: int = 0
+    ) -> Dict:
         """Per-region scan requests for one personalized query: every
         region gets exactly the friends whose salted key ranges it owns."""
         routed = self.visits.route_friends(
@@ -535,6 +593,7 @@ class QueryAnsweringModule:
                 keywords=query.keywords,
                 since=query.since,
                 until=query.until,
+                per_region_limit=per_region_limit,
                 routed=True,
             )
             for region, friends in routed.items()
@@ -611,9 +670,18 @@ class QueryAnsweringModule:
         return merged
 
     def _rank(
-        self, query: SearchQuery, merged: Dict[int, list], call
+        self,
+        query: SearchQuery,
+        merged: Dict[int, list],
+        call,
+        max_k: Optional[int] = None,
     ) -> SearchResult:
-        """Web-tier rank: score merged aggregates and keep the top-k."""
+        """Web-tier rank: score merged aggregates and keep the top-k.
+
+        ``max_k`` is the brownout cap on result size: under overload the
+        admission controller shrinks k so the response ships less state,
+        and the result is flagged degraded by the caller."""
+        limit = query.limit if max_k is None else min(query.limit, max_k)
         scored = []
         for poi_id, (grade_sum, count, name, lat, lon) in merged.items():
             if query.sort_by == SORT_INTEREST:
@@ -632,7 +700,7 @@ class QueryAnsweringModule:
             )
         scored.sort(key=lambda p: (-p.score, -p.visit_count, p.poi_id))
         return SearchResult(
-            pois=scored[: query.limit],
+            pois=scored[:limit],
             personalized=True,
             latency_ms=call.latency_ms,
             records_scanned=call.records_scanned,
@@ -655,6 +723,18 @@ class QueryAnsweringModule:
                 query.sort_by,
                 query.limit,
             )
+            # Brownout level 1: serve whatever the cache holds, even an
+            # epoch- or version-stale entry, and flag the result
+            # degraded.  Freshness is the first thing traded away under
+            # overload — a slightly old hot-POI list beats a rejection.
+            if self.admission is not None and self.admission.stale_ok():
+                stale = cache.get_stale(key)
+                if stale is not None:
+                    if self.metrics is not None:
+                        self.metrics.increment("admission.stale_served")
+                    return SearchResult(
+                        pois=list(stale), personalized=False, degraded=True
+                    )
             # Read the stamp *before* running the select: a write
             # landing in between makes the stored stamp stale, never
             # the other way around.

@@ -31,6 +31,7 @@ from .modules.query_answering import (
     SearchQuery,
     SearchResult,
 )
+from .admission import AdmissionController
 from .caching import HotPOICache
 from .faults import FaultInjector
 from .ingest import StreamingIngestTier
@@ -102,6 +103,25 @@ class MoDisSENSE:
             self.hbase.attach_fault_injector(self.fault_injector)
             if self.telemetry is not None:
                 self.fault_injector.event_log = self.telemetry.events
+        # ---- overload protection (off by default; see config.admission)
+        #: Admission controller + brownout ladder; None when disabled —
+        #: the request path is then byte-identical to a build without
+        #: the layer (no tickets, no budgets, no shaping).
+        self.admission: Optional[AdmissionController] = None
+        if self.config.admission.enabled:
+            self.admission = AdmissionController(
+                self.config.admission,
+                metrics=self.metrics,
+                event_log=(
+                    self.telemetry.events
+                    if self.telemetry is not None
+                    else None
+                ),
+            )
+            # The fan-out's retry/hedge paths draw from the global
+            # budget; with no budget attached they behave exactly as
+            # before this layer existed.
+            self.hbase.attach_retry_budget(self.admission.retry_budget)
         self.sql = SqlEngine()
         regions = self.config.cluster.regions_per_table
         self.poi_repository = POIRepository(self.sql)
@@ -181,6 +201,7 @@ class MoDisSENSE:
                     if self.telemetry is not None
                     else None
                 ),
+                admission=self.admission,
             ),
             metrics=self.metrics,
         )
@@ -213,6 +234,10 @@ class MoDisSENSE:
                     else None
                 ),
             ).start()
+            if self.admission is not None:
+                # Brownout level 3+ flips the tier to shed-on-full so
+                # blocked producers can't pile up during an overload.
+                self.admission.attach_ingest(self.ingest)
         # ---- self-healing supervisor (off by default; see
         # config.supervisor).  Constructed after the ingest tier so the
         # server-WAL handles adopt the (still empty) per-region WALs the
@@ -450,6 +475,11 @@ class MoDisSENSE:
             "supervisor": (
                 self.supervisor.describe()
                 if self.supervisor is not None
+                else {"enabled": False}
+            ),
+            "admission": (
+                self.admission.describe()
+                if self.admission is not None
                 else {"enabled": False}
             ),
         }

@@ -39,6 +39,17 @@ class ScheduledJob:
     #: replaying a simulated day as 86 400 back-to-back scrapes of the
     #: *same* current state would be pure waste.
     catch_up: bool = True
+    #: Whether the brownout ladder may pause this job under overload.
+    #: Background batch work (HotIn folds, scrubs, rebalances) is
+    #: pausable; liveness- and observability-critical jobs (telemetry
+    #: scrape, supervisor heartbeat, the admission tick itself) are not.
+    pausable: bool = False
+    #: Pause state (see :meth:`PeriodicScheduler.pause`).  A paused job
+    #: keeps its registration but never fires; resuming re-anchors its
+    #: next deadline one period out — missed windows are *not* replayed,
+    #: matching the overload contract that deferred background work is
+    #: shed, not queued.
+    paused: bool = False
     fire_count: int = 0
     last_result: Any = None
     #: Firings whose callback raised; the job keeps its schedule.
@@ -82,6 +93,7 @@ class PeriodicScheduler:
         callback: Callable,
         first_fire_at: Optional[float] = None,
         catch_up: bool = True,
+        pausable: bool = False,
     ) -> ScheduledJob:
         """Add a job; first firing defaults to one period from now."""
         if name in self._jobs:
@@ -95,6 +107,7 @@ class PeriodicScheduler:
                 else self.now + period_s
             ),
             catch_up=catch_up,
+            pausable=pausable,
         )
         self._jobs[name] = job
         self._order.append(name)
@@ -108,6 +121,45 @@ class PeriodicScheduler:
 
     def set_enabled(self, name: str, enabled: bool) -> None:
         self.job(name).enabled = enabled
+
+    def pause(self, name: str) -> None:
+        """Stop ``name`` firing until :meth:`resume` — idempotent."""
+        self.job(name).paused = True
+
+    def resume(self, name: str) -> None:
+        """Un-pause ``name``, level-triggered: the next deadline is one
+        period from *now* and the windows missed while paused are never
+        replayed — paused background work is shed, not queued."""
+        job = self.job(name)
+        if not job.paused:
+            return
+        job.paused = False
+        job.next_fire_at = self.now + job.period_s
+
+    def pause_pausable(self) -> List[str]:
+        """Pause every job registered ``pausable`` (the brownout ladder's
+        level-3 rung); returns the names newly paused."""
+        paused = []
+        for name in self._order:
+            job = self._jobs[name]
+            if job.pausable and not job.paused:
+                job.paused = True
+                paused.append(name)
+        if paused and self.metrics is not None:
+            self.metrics.increment("scheduler.jobs_paused", len(paused))
+        return paused
+
+    def resume_pausable(self) -> List[str]:
+        """Resume every paused pausable job; returns the names resumed."""
+        resumed = []
+        for name in self._order:
+            job = self._jobs[name]
+            if job.pausable and job.paused:
+                self.resume(name)
+                resumed.append(name)
+        if resumed and self.metrics is not None:
+            self.metrics.increment("scheduler.jobs_resumed", len(resumed))
+        return resumed
 
     def advance_to(self, new_now: float) -> List[tuple]:
         """Move the clock forward, firing due jobs.
@@ -126,6 +178,7 @@ class PeriodicScheduler:
                 self._jobs[name]
                 for name in self._order
                 if self._jobs[name].enabled
+                and not self._jobs[name].paused
                 and self._jobs[name].next_fire_at <= new_now
             ]
             if not due:
@@ -199,6 +252,7 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
         "data_collection",
         jobs.data_collection_period_s,
         lambda now: platform.collect(int(now)),
+        pausable=True,
     )
     if getattr(platform, "ingest", None) is not None:
         # Streaming ingest keeps hotness fresh incrementally; the batch
@@ -211,12 +265,14 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
             lambda now: platform.reconcile_hotin(
                 int(now - jobs.hotin_window_s), int(now)
             ),
+            pausable=True,
         )
         if ingest_cfg.rebalance_enabled:
             scheduler.register(
                 "ingest_rebalance",
                 ingest_cfg.rebalance_period_s,
                 lambda now: platform.ingest.maybe_rebalance(),
+                pausable=True,
             )
     else:
         scheduler.register(
@@ -225,11 +281,13 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
             lambda now: platform.run_hotin(
                 int(now - jobs.hotin_window_s), int(now)
             ),
+            pausable=True,
         )
     scheduler.register(
         "event_detection",
         jobs.event_detection_period_s,
         lambda now: platform.detect_events(until=int(now)),
+        pausable=True,
     )
     if getattr(platform, "telemetry", None) is not None:
         # One scrape per simulated second while time advances normally;
@@ -250,6 +308,7 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
             "cache_maintenance",
             platform.config.cache.sweep_period_s,
             lambda now: platform.sweep_caches(),
+            pausable=True,
         )
     if getattr(platform, "supervisor", None) is not None:
         # Heartbeat + scrub are level-triggered: a large jump costs one
@@ -269,5 +328,18 @@ def build_platform_scheduler(platform, start_at: float = 0.0) -> PeriodicSchedul
             sup_cfg.scrub_period_s,
             lambda now: platform.supervisor.scrub_tick(now),
             catch_up=False,
+            pausable=True,
         )
+    if getattr(platform, "admission", None) is not None:
+        # The ladder's clock: evaluate overload signals and move the
+        # brownout level.  Level-triggered and NOT pausable — the ladder
+        # must keep ticking to ever step back down, and replaying missed
+        # ticks after a jump would fast-forward the hysteresis.
+        scheduler.register(
+            "admission_tick",
+            platform.config.admission.tick_period_s,
+            lambda now: platform.admission.tick(now),
+            catch_up=False,
+        )
+        platform.admission.attach_scheduler(scheduler)
     return scheduler

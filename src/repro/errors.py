@@ -82,6 +82,27 @@ class QueryDeadlineExceeded(QueryError):
     graceful degradation to the surviving partial results)."""
 
 
+class QueryCancelled(QueryError):
+    """A region scan observed its cancellation token tripped — the
+    query's deadline budget is blown or the caller abandoned it — and
+    aborted mid-scan rather than keep burning CPU on an answer nobody
+    can use.  In strict-deadline mode the fan-out surfaces this as
+    :class:`QueryDeadlineExceeded`; otherwise the query degrades to the
+    partials that completed before the trip."""
+
+
+class OverloadedError(ReproError):
+    """Admission control rejected the request: the platform is shedding
+    load to protect goodput (HTTP 429 at the REST boundary).
+
+    ``retry_after_s`` is the client's backoff hint — the ``Retry-After``
+    header value an HTTP gateway should attach."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class DegradedResultWarning(UserWarning):
     """A query completed from partial results: one or more regions never
     answered within the retry/hedge budget.  Carries no data — inspect

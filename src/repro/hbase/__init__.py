@@ -41,6 +41,7 @@ from .filters import (
 from .region import Region
 from .wal import RegionWALHandle, ServerWAL, WriteAheadLog, WALRecord
 from .table import HTable, TableDescriptor
+from .cancellation import CancellationToken
 from .coprocessor import Coprocessor, CoprocessorContext, CorruptPartial
 from .cache import RegionScanCache
 from .client import HBaseCluster, CoprocessorCallResult
@@ -70,6 +71,7 @@ __all__ = [
     "RegionWALHandle",
     "HTable",
     "TableDescriptor",
+    "CancellationToken",
     "Coprocessor",
     "CoprocessorContext",
     "CorruptPartial",

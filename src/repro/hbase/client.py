@@ -27,12 +27,14 @@ from ..config import ClusterConfig, FaultsConfig
 from ..errors import (
     ConfigError,
     CoprocessorError,
+    QueryCancelled,
     QueryDeadlineExceeded,
     RegionUnavailableError,
     TableExistsError,
     TableNotFoundError,
 )
 from .cache import RegionScanCache
+from .cancellation import CancellationToken
 from .coprocessor import Coprocessor, CoprocessorContext
 from .region import Region
 from .table import HTable, TableDescriptor
@@ -73,6 +75,10 @@ class CoprocessorCallResult:
     #: Recovery work this call performed (0 on the clean path).
     retries: int = 0
     hedges: int = 0
+    #: Region scans that aborted mid-scan on a tripped cancellation
+    #: token (deadline blown or caller abandoned the query); their
+    #: regions are also in ``missing_regions``.
+    cancelled_regions: int = 0
 
     @property
     def latency_ms(self) -> float:
@@ -169,6 +175,10 @@ class HBaseCluster:
         #: ClusterSupervisor`); None (the default) keeps failure
         #: handling manual — fail_node/recover_node — exactly as before.
         self.supervisor: Optional[Any] = None
+        #: Global retry budget (duck-typed ``repro.core.admission.
+        #: RetryBudget``); None (the default) leaves retries/hedges
+        #: bounded only by the per-region knobs, exactly as before.
+        self.retry_budget: Optional[Any] = None
         self._fanout_lock = threading.Lock()
         self._fanout_epoch = 0
         self._breaker_lock = threading.Lock()
@@ -204,6 +214,13 @@ class HBaseCluster:
         deaths become *real* crashes the supervisor must heal.  Detach
         by passing None."""
         self.supervisor = supervisor
+
+    def attach_retry_budget(self, budget: Optional[Any]) -> None:
+        """Gate the fan-out's retry and hedge paths behind a global
+        sliding-window budget, so recovery machinery cannot amplify an
+        overload into a retry storm.  Detach by passing None — the
+        per-region retry/hedge knobs then bound recovery alone."""
+        self.retry_budget = budget
 
     def attach_scan_cache(self, cache: Optional[RegionScanCache]) -> None:
         """Hand every *clean* coprocessor invocation a scan cache to
@@ -314,6 +331,8 @@ class HBaseCluster:
         route_items: Optional[Sequence[int]] = None,
         tracer: Optional[Any] = None,
         trace_parents: Optional[Sequence[Any]] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+        cancel_tokens: Optional[Sequence[Optional[CancellationToken]]] = None,
     ) -> List[CoprocessorCallResult]:
         """Route-then-stream fan-out: each request already partitioned
         per region.
@@ -335,6 +354,13 @@ class HBaseCluster:
         ``region.scan`` span under ``trace_parents[qi]`` and the parent
         is tagged with straggler attribution (which region dominated
         the simulated fan-out and by how much).
+
+        ``deadlines[qi]`` is request ``qi``'s client-supplied deadline
+        (ms); it tightens the config's ``query_deadline_ms`` and arms a
+        per-query cancellation token so region scans abort mid-scan
+        once their simulated spend blows the budget.  ``cancel_tokens``
+        lets the caller hand in its own tokens (e.g. the REST tier
+        cancelling an abandoned query from another thread).
         """
         table = self.table(table_name)
         routed = [
@@ -352,6 +378,8 @@ class HBaseCluster:
             client_setup_s=client_setup,
             tracer=tracer,
             trace_parents=trace_parents,
+            deadlines=deadlines,
+            cancel_tokens=cancel_tokens,
         )
 
     def _exec_region_requests(
@@ -362,6 +390,8 @@ class HBaseCluster:
         client_setup_s: Optional[Sequence[float]] = None,
         tracer: Optional[Any] = None,
         trace_parents: Optional[Sequence[Any]] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+        cancel_tokens: Optional[Sequence[Optional[CancellationToken]]] = None,
     ) -> List[CoprocessorCallResult]:
         """Shared fan-out engine: run ``(region, request)`` pairs per
         query on the thread pool with retries/hedging, account the
@@ -381,9 +411,10 @@ class HBaseCluster:
         traced = tracer is not None and getattr(tracer, "enabled", False)
         placement = self.simulation.region_placement
         cm = self.simulation.cost_model
-        deadline_ms = fcfg.query_deadline_ms
+        budget = self.retry_budget
 
         per_request_partials: List[List[Any]] = []
+        per_request_deadline: List[Optional[float]] = []
         per_request_tasks: List[List[Task]] = []
         per_request_records: List[Dict[int, int]] = []
         per_request_results: List[Dict[int, int]] = []
@@ -393,6 +424,35 @@ class HBaseCluster:
         per_request_recovery: List[Dict[str, int]] = []
 
         for qi, region_requests in enumerate(per_request_regions):
+            # Effective per-query deadline: a client-supplied deadline
+            # tightens the config default.
+            q_deadline = deadlines[qi] if deadlines is not None else None
+            deadline_ms = fcfg.query_deadline_ms
+            if q_deadline is not None:
+                deadline_ms = (
+                    q_deadline if deadline_ms is None
+                    else min(deadline_ms, q_deadline)
+                )
+            per_request_deadline.append(deadline_ms)
+            token = cancel_tokens[qi] if cancel_tokens is not None else None
+            if token is None and deadline_ms is not None and (
+                fcfg.strict_deadline or q_deadline is not None
+            ):
+                # Cooperative cancellation engages only in strict mode
+                # or under an explicit client deadline; the default
+                # graceful path stays byte-identical to the token-free
+                # build.
+                token = CancellationToken(
+                    deadline_ms=deadline_ms,
+                    strict=fcfg.strict_deadline,
+                )
+            if token is not None:
+                # Stamp the cost-model terms so checkpoints translate
+                # cells-touched into simulated spend deterministically.
+                token.cost_per_record_ms = cm.cost_per_record_s * 1e3
+                token.setup_ms = (
+                    (cm.rpc_latency_s + cm.coprocessor_setup_s) * 1e3
+                )
             parent_span = (
                 trace_parents[qi]
                 if traced and trace_parents is not None
@@ -406,6 +466,8 @@ class HBaseCluster:
                 out = _RegionOutcome(rid)
                 backoff_ms = fcfg.retry_backoff_ms
                 attempt = 0
+                if budget is not None:
+                    budget.record_request()
                 if active and not injector.region_available(rid):
                     # The region's data died with its node: no retry or
                     # hedge can answer, and the (healthy) serving node's
@@ -459,9 +521,18 @@ class HBaseCluster:
                                 node_id,
                                 attempt=attempt,
                                 fault=fault,
+                                token=token,
                             )
                             out.ok = True
                             self._breaker_record(node_id, True, epoch)
+                            return out
+                        except QueryCancelled as exc:
+                            # A tripped token is shed work, not a node
+                            # failure: no breaker charge, no retry, no
+                            # hedge.  The aborted scan's cells are still
+                            # charged via ``out.records``.
+                            out.error = exc
+                            out.reason = "cancelled"
                             return out
                         except Exception as exc:  # noqa: BLE001 - resilience boundary
                             out.error = exc
@@ -469,6 +540,12 @@ class HBaseCluster:
                             attempt += 1
                             if attempt > fcfg.max_retries:
                                 out.reason = type(exc).__name__
+                                break
+                            if budget is not None and not budget.try_spend():
+                                # Global retry budget exhausted: degrade
+                                # now rather than amplify the overload.
+                                out.reason = "retry_budget"
+                                self._count("fanout.retries_denied")
                                 break
                             out.retries += 1
                             jitter_ms = (
@@ -492,7 +569,19 @@ class HBaseCluster:
                                 out.reason = "deadline"
                                 break
 
-                if fcfg.hedge_enabled and not out.ok:
+                if fcfg.hedge_enabled and not out.ok and (
+                    out.reason != "cancelled"
+                ):
+                    if budget is not None and not budget.try_spend():
+                        # Hedges draw from the same global budget.
+                        self._count("fanout.hedges_denied")
+                        return out
+                    if (
+                        token is not None
+                        and token.remaining_ms(out.extra_cost_s * 1e3) <= 0
+                    ):
+                        # No deadline budget left for the hedge to spend.
+                        return out
                     self._hedge_region(
                         coprocessor,
                         region,
@@ -502,6 +591,7 @@ class HBaseCluster:
                         parent_span,
                         node_id,
                         active,
+                        token=token,
                     )
                 return out
 
@@ -516,6 +606,7 @@ class HBaseCluster:
             retries = 0
             hedges = 0
             breaker_skips = 0
+            cancelled = 0
             for out in outcomes:
                 rid = out.region_id
                 records[rid] = out.records
@@ -535,6 +626,8 @@ class HBaseCluster:
                 else:
                     missing.append(rid)
                     result_sizes[rid] = 0
+                    if out.reason == "cancelled":
+                        cancelled += 1
                     if out.reason == "breaker_open":
                         breaker_skips += 1
                 tasks.append(
@@ -555,6 +648,17 @@ class HBaseCluster:
                 self._count("fanout.degraded_queries")
             if breaker_skips:
                 self._count("fanout.breaker_skips", breaker_skips)
+            if cancelled:
+                self._count("fanout.cancelled", cancelled)
+            if fcfg.strict_deadline and cancelled:
+                # Strict mode aborts the query the moment scans tripped
+                # the deadline token — before the timeline is even
+                # simulated, rather than detecting the overrun post-hoc.
+                raise QueryDeadlineExceeded(
+                    "query %d aborted mid-scan: %d region scan(s) "
+                    "cancelled at the %.1fms deadline"
+                    % (qi, cancelled, deadline_ms)
+                )
             per_request_partials.append(partials)
             per_request_tasks.append(tasks)
             per_request_records.append(records)
@@ -562,7 +666,9 @@ class HBaseCluster:
             per_request_counters.append(counters)
             per_request_spans.append(spans)
             per_request_missing.append(sorted(missing))
-            per_request_recovery.append({"retries": retries, "hedges": hedges})
+            per_request_recovery.append(
+                {"retries": retries, "hedges": hedges, "cancelled": cancelled}
+            )
 
         timelines = self.simulation.run_queries(
             per_request_tasks, client_setup_s=client_setup_s
@@ -588,14 +694,15 @@ class HBaseCluster:
                     retries=recovery["retries"],
                     hedges=recovery["hedges"],
                 )
+            q_deadline_ms = per_request_deadline[qi]
             if (
                 fcfg.strict_deadline
-                and deadline_ms is not None
-                and timelines[qi].latency_ms > deadline_ms
+                and q_deadline_ms is not None
+                and timelines[qi].latency_ms > q_deadline_ms
             ):
                 raise QueryDeadlineExceeded(
                     "query %d finished at %.1fms, over the %.1fms deadline"
-                    % (qi, timelines[qi].latency_ms, deadline_ms)
+                    % (qi, timelines[qi].latency_ms, q_deadline_ms)
                 )
             results.append(
                 CoprocessorCallResult(
@@ -610,6 +717,7 @@ class HBaseCluster:
                     coverage=coverage,
                     retries=recovery["retries"],
                     hedges=recovery["hedges"],
+                    cancelled_regions=recovery["cancelled"],
                 )
             )
         return results
@@ -626,6 +734,7 @@ class HBaseCluster:
         attempt: int = 0,
         fault: Optional[Any] = None,
         hedged: bool = False,
+        token: Optional[CancellationToken] = None,
     ) -> Any:
         """One region invocation with span bookkeeping.
 
@@ -646,10 +755,11 @@ class HBaseCluster:
                 tags["hedged"] = True
             span = tracer.span("region.scan", parent=parent_span, **tags)
             context = CoprocessorContext(
-                region, tracer=tracer, span=span, cache=cache
+                region, tracer=tracer, span=span, cache=cache,
+                cancellation=token,
             )
         else:
-            context = CoprocessorContext(region, cache=cache)
+            context = CoprocessorContext(region, cache=cache, cancellation=token)
         try:
             partial = coprocessor.run(context, request)
             if fault is not None and fault.kind == _FAULT_CORRUPT:
@@ -688,6 +798,7 @@ class HBaseCluster:
         parent_span: Optional[Any],
         primary_node: Optional[int],
         active: bool,
+        token: Optional[CancellationToken] = None,
     ) -> None:
         """Last-resort re-execution against the replica on a surviving
         node.  Mutates ``out`` in place; a hedge that fails leaves the
@@ -720,10 +831,14 @@ class HBaseCluster:
                 hedge_node,
                 fault=fault,
                 hedged=True,
+                token=token,
             )
             out.ok = True
             out.hedged = True
             out.reason = None
+        except QueryCancelled as exc:
+            out.error = exc
+            out.reason = "cancelled"
         except Exception as exc:  # noqa: BLE001 - resilience boundary
             out.error = exc
             out.reason = out.reason or type(exc).__name__

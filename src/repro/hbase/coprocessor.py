@@ -74,9 +74,16 @@ class CoprocessorContext:
         tracer: Optional[Any] = None,
         span: Optional[Any] = None,
         cache: Optional[Any] = None,
+        cancellation: Optional[Any] = None,
     ) -> None:
         self._region = region
         self.records_scanned = 0
+        #: Per-query :class:`~repro.hbase.cancellation.CancellationToken`
+        #: (None on the default path).  Endpoints with long scan loops
+        #: should probe it every ``cancellation.check_every`` cells via
+        #: :meth:`checkpoint`; a tripped token raises
+        #: :class:`~repro.errors.QueryCancelled` mid-scan.
+        self.cancellation = cancellation
         #: Region scan cache (see :mod:`repro.hbase.cache`) this
         #: invocation may consult; None on the uncached path and for
         #: any invocation the fault injector touched — a faulted run
@@ -96,6 +103,13 @@ class CoprocessorContext:
     def count(self, name: str, amount: int = 1) -> None:
         """Bump an endpoint-defined counter."""
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def checkpoint(self, records: int, extra_ms: float = 0.0) -> None:
+        """Probe this query's cancellation token (no-op when none was
+        propagated).  ``records`` is the endpoint's own cells-touched
+        tally — the simulated-spend basis for deadline enforcement."""
+        if self.cancellation is not None:
+            self.cancellation.checkpoint(records, extra_ms)
 
     def trace(self, name: str, **tags: Any):
         """Open a stage span under this invocation's region span.

@@ -183,7 +183,7 @@ class TestAdminHealth:
         assert data["state"] in ("healthy", "warning", "critical")
         by_name = {s["name"]: s for s in data["slos"]}
         assert set(by_name) == {
-            "personalized_p99_latency", "ingest_freshness",
+            "goodput", "personalized_p99_latency", "ingest_freshness",
             "fanout_coverage", "degraded_query_rate",
             "backpressure_shed_rate", "storage_integrity",
             "recovery_mttr",

@@ -213,7 +213,8 @@ class TestEndpoints:
         assert "admin_profile" in endpoints
         assert "admin_events" in endpoints
         assert "admin_supervisor" in endpoints
-        assert len(endpoints) == 21
+        assert "admin_admission" in endpoints
+        assert len(endpoints) == 22
 
     def test_explain_endpoint(self, api):
         rest, p = api

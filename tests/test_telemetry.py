@@ -231,9 +231,10 @@ class TestSLOEngine:
     def test_default_slos_are_valid_and_unique(self):
         specs = default_slos()
         names = [s.name for s in specs]
-        assert len(names) == len(set(names)) == 7
+        assert len(names) == len(set(names)) == 8
         assert "fanout_coverage" in names
         assert "ingest_freshness" in names
+        assert "goodput" in names
         store = TimeSeriesStore()
         engine = SLOEngine(specs, store)
         assert engine.evaluate(0.0)["state"] == "healthy"
