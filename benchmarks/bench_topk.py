@@ -1,0 +1,189 @@
+"""Top-k early termination — the threshold algorithm must pay for itself.
+
+The pruned fan-out (``TopKConfig(enabled=True)``) ships score-sorted
+partial streams and cuts attribute decoding off once the running k-th
+score proves the remainder of every region irrelevant.  This bench is
+the acceptance gate for that machinery at paper scale: one personalized
+query over ``REPRO_BENCH_TOPK_FRIENDS`` (default 6000) friends at
+k = 10, both scoring modes, three configurations —
+
+- **exhaustive**  (top-k off — the byte-identity baseline),
+- **top-k cold**  (no scan cache: pruning is the only saving),
+- **top-k warm**  (scan cache populated by the exhaustive run: cached
+  partials carry decoded attributes, so emission is decode-free).
+
+Gates (env-overridable for CI smoke):
+
+- results byte-identical across all three configurations,
+- ``cells_decoded`` reduced by >= ``REPRO_TOPK_DECODE_RATIO_MIN``
+  (default 2.0) cold vs exhaustive, and to zero warm,
+- median wall clock improved by >= ``REPRO_TOPK_SPEEDUP_MIN`` (default
+  1.0, i.e. "not slower"; CI smoke sets 0.0 because the shrunk
+  workload's absolute times are noise-dominated).
+
+Numbers land in ``benchmarks/results/BENCH_topk.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from repro.config import TopKConfig
+from repro.core import SearchQuery
+from repro.hbase import RegionScanCache
+
+from ._report import RESULTS_DIR, register_table
+from ._workload import NUM_USERS, friend_sample
+
+FRIENDS = min(
+    int(os.environ.get("REPRO_BENCH_TOPK_FRIENDS", 6000)), NUM_USERS - 1
+)
+K = int(os.environ.get("REPRO_BENCH_TOPK_K", 10))
+REPETITIONS = max(3, int(os.environ.get("REPRO_BENCH_REPETITIONS", 5)))
+DECODE_RATIO_MIN = float(os.environ.get("REPRO_TOPK_DECODE_RATIO_MIN", 2.0))
+SPEEDUP_MIN = float(os.environ.get("REPRO_TOPK_SPEEDUP_MIN", 1.0))
+
+BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_topk.json")
+
+
+def _record_bench(section: str, payload: dict) -> None:
+    """Merge one bench's numbers into ``BENCH_topk.json``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as f:
+            data = json.load(f)
+    data[section] = payload
+    with open(BENCH_JSON, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def _fingerprint(result):
+    """Bit-exact result identity: the byte-identity contract."""
+    return [
+        (p.poi_id, p.name, p.lat, p.lon, p.score, p.visit_count)
+        for p in result.pois
+    ]
+
+
+def _measure(qa, query):
+    """Median wall clock over REPETITIONS plus the last result."""
+    qa.search(query)  # warm (thread pool, page cache)
+    samples = []
+    result = None
+    for _ in range(REPETITIONS):
+        t0 = time.perf_counter()
+        result = qa.search(query)
+        samples.append((time.perf_counter() - t0) * 1e3)
+    return statistics.median(samples), result
+
+
+def test_topk_vs_exhaustive(bench_platform, benchmark):
+    qa = bench_platform.query_answering
+    inner = qa._inner
+    cluster = bench_platform.hbase
+    saved_topk = inner.topk
+
+    def run():
+        rows, payload = [], {}
+        try:
+            for sort_by in ("interest", "hotness"):
+                query = SearchQuery(
+                    friend_ids=friend_sample(FRIENDS, seed=4242),
+                    sort_by=sort_by,
+                    limit=K,
+                )
+
+                inner.topk = TopKConfig(enabled=False)
+                cluster.attach_scan_cache(None)
+                ex_ms, ex = _measure(qa, query)
+
+                inner.topk = TopKConfig(enabled=True)
+                cold_ms, cold = _measure(qa, query)
+
+                # Warm path: the exhaustive query populates the scan
+                # cache (top-k reads it but never stores), then the
+                # pruned query answers decode-free off cached partials.
+                # Keys are per (region, friend, window): capacity must
+                # cover the friend set, not the region count.
+                cache = RegionScanCache(max_entries=max(65536, 4 * FRIENDS))
+                cluster.attach_scan_cache(cache)
+                inner.topk = TopKConfig(enabled=False)
+                qa.search(query)
+                inner.topk = TopKConfig(enabled=True)
+                warm_ms, warm = _measure(qa, query)
+                cluster.attach_scan_cache(None)
+
+                # Byte-identity across all three configurations.
+                assert _fingerprint(cold) == _fingerprint(ex)
+                assert _fingerprint(warm) == _fingerprint(ex)
+                assert ex.cells_avoided == 0
+                assert cold.cells_avoided > 0
+
+                ratio = ex.cells_decoded / max(1, cold.cells_decoded)
+                assert ratio >= DECODE_RATIO_MIN, (
+                    "decode reduction %.2fx below the %.1fx gate at k=%d"
+                    " (%d friends): exhaustive=%d topk=%d"
+                    % (ratio, DECODE_RATIO_MIN, K, FRIENDS,
+                       ex.cells_decoded, cold.cells_decoded)
+                )
+                assert warm.cells_decoded == 0, (
+                    "warm-cache top-k decoded %d cells; cached partials"
+                    " should make emission decode-free" % warm.cells_decoded
+                )
+                if SPEEDUP_MIN > 0:
+                    assert ex_ms >= SPEEDUP_MIN * cold_ms, (
+                        "top-k wall clock %.2fms not %.2fx faster than"
+                        " exhaustive %.2fms" % (cold_ms, SPEEDUP_MIN, ex_ms)
+                    )
+
+                rows.append([
+                    sort_by,
+                    ex.cells_decoded, cold.cells_decoded, warm.cells_decoded,
+                    "%.2fx" % ratio,
+                    cold.regions_pruned_early,
+                    "%.2f" % ex_ms, "%.2f" % cold_ms, "%.2f" % warm_ms,
+                ])
+                payload[sort_by] = {
+                    "friends": FRIENDS,
+                    "k": K,
+                    "exhaustive": {
+                        "wall_ms": ex_ms,
+                        "cells_decoded": ex.cells_decoded,
+                        "latency_ms_sim": ex.latency_ms,
+                    },
+                    "topk_cold": {
+                        "wall_ms": cold_ms,
+                        "cells_decoded": cold.cells_decoded,
+                        "cells_avoided": cold.cells_avoided,
+                        "regions_pruned_early": cold.regions_pruned_early,
+                        "latency_ms_sim": cold.latency_ms,
+                    },
+                    "topk_warm_cache": {
+                        "wall_ms": warm_ms,
+                        "cells_decoded": warm.cells_decoded,
+                        "latency_ms_sim": warm.latency_ms,
+                    },
+                    "decode_ratio": ratio,
+                    "byte_identical": True,
+                }
+        finally:
+            inner.topk = saved_topk
+            cluster.attach_scan_cache(None)
+        return rows, payload
+
+    rows, payload = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    register_table(
+        "Top-k early termination: %d friends, k=%d"
+        " (median of %d reps)" % (FRIENDS, K, REPETITIONS),
+        ["sort", "decoded (exh)", "decoded (topk)", "decoded (warm)",
+         "reduction", "pruned regions", "exh ms", "topk ms", "warm ms"],
+        rows,
+    )
+    _record_bench("topk_vs_exhaustive", payload)
+    benchmark.extra_info["topk"] = payload

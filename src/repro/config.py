@@ -309,6 +309,33 @@ class CacheConfig:
 
 
 @dataclass
+class TopKConfig:
+    """Knobs of threshold-algorithm top-k early termination
+    (:mod:`repro.core.modules.topk`).
+
+    Off by default: with ``enabled=False`` the personalized query path
+    is byte-identical to a build without the top-k module — regions ship
+    complete partials and the web tier ranks at the end.  With it on,
+    answers are *still* byte-identical (the differential oracle suite
+    pins this): regions emit score-sorted batches with a monotone upper
+    bound on the unemitted rest, and the merger cancels region emission
+    it can prove irrelevant, skipping the per-POI attribute decodes and
+    partial shipping the exhaustive path pays for.
+    """
+
+    #: Master switch for top-k early termination on personalized search.
+    enabled: bool = False
+    #: Sorted-access items a region emits per merger round.  Smaller
+    #: batches tighten the threshold faster (more pruning) at the cost
+    #: of more merge rounds.
+    batch_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+
+
+@dataclass
 class IngestConfig:
     """Knobs of the streaming ingest tier (``repro.core.ingest``).
 
@@ -791,6 +818,7 @@ class PlatformConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    topk: TopKConfig = field(default_factory=TopKConfig)
     #: Seed for all synthetic-data randomness; fixed for reproducibility.
     seed: int = 2015
 

@@ -26,6 +26,7 @@ from ..repositories.visits import (
 )
 from ..serialization import decode_json
 from ..tracing import NULL_TRACER, Tracer
+from .topk import TopKMerger, TopKPartialStream
 
 SORT_INTEREST = "interest"
 SORT_HOTNESS = "hotness"
@@ -114,6 +115,13 @@ class SearchResult:
     #: Fan-out recovery work spent answering this query.
     retries: int = 0
     hedges: int = 0
+    #: Threshold-algorithm accounting (0 outside top-k mode): per-POI
+    #: aggregates the merger proved irrelevant and never decoded,
+    #: shipped or merged, and regions whose emission it short-circuited.
+    #: A pruned-early region is complete *by proof* — it never appears
+    #: in ``missing_regions`` and does not lower ``coverage``.
+    cells_avoided: int = 0
+    regions_pruned_early: int = 0
 
 
 @dataclass(frozen=True)
@@ -136,6 +144,16 @@ class _VisitScanRequest:
     #: True when the client already routed ``friend_ids`` to this
     #: region, so the endpoint can skip per-friend ownership probing.
     routed: bool = False
+    #: Non-zero engages threshold-algorithm streaming mode: the endpoint
+    #: returns a :class:`~repro.core.modules.topk.TopKPartialStream`
+    #: (score-sorted incremental emission with a monotone upper bound)
+    #: instead of a finished partial list.  Mutually exclusive with
+    #: ``per_region_limit`` — a truncated partial has no sound bound.
+    top_k: int = 0
+    #: Streaming mode's local sort key: visit count (True) or mean grade.
+    hotness: bool = False
+    #: Sorted-access batch size per merger round in streaming mode.
+    topk_batch: int = 16
 
 
 class VisitScanCoprocessor(Coprocessor):
@@ -160,6 +178,8 @@ class VisitScanCoprocessor(Coprocessor):
     name = "visit-scan"
 
     def run(self, context: CoprocessorContext, request: _VisitScanRequest):
+        if request.top_k > 0 and request.per_region_limit == 0:
+            return self._run_topk(context, request)
         bbox = (
             BoundingBox.from_tuple(request.bbox)
             if request.bbox is not None
@@ -340,16 +360,192 @@ class VisitScanCoprocessor(Coprocessor):
             return partial[: request.per_region_limit]
         return partial
 
+    def _run_topk(
+        self, context: CoprocessorContext, request: _VisitScanRequest
+    ) -> TopKPartialStream:
+        """Streaming (threshold-algorithm) mode: aggregate *exactly* as
+        the exhaustive path does, but defer everything downstream of the
+        aggregation — attribute decoding, filtering, shipping — into a
+        score-sorted :class:`TopKPartialStream` the merger drains in
+        bounded batches and can cancel mid-emission.
+
+        The scan itself always completes (aggregates must be exact for
+        byte-identity), and it needs *zero* full payload parses: the POI
+        id comes from row-key offsets and the grade from the positional
+        ``decode_grade`` slice.  One representative raw payload per POI
+        is kept so emitted items can decode attributes lazily; cache
+        hits pre-seed the attribute memo, so warm streams emit decode-
+        free.  Cache *misses are not stored back*: a scan-cache entry
+        must carry parsed attributes for every POI in the partial, which
+        is exactly the work this mode exists to avoid.
+        """
+        window = (request.since, request.until)
+        cache = context.cache
+        # poi_id -> [grade_sum, count]; identical per-friend float fold
+        # (and thus bit-identical sums) as the exhaustive path.
+        aggregates: Dict[int, list] = {}
+        #: poi_id -> one raw payload, for lazy attribute decode.
+        raw: Dict[int, bytes] = {}
+        #: poi_id -> (name, lat, lon, keywords), cache-hit seeded.
+        attrs: Dict[int, tuple] = {}
+        cache_hits = 0
+        cache_misses = 0
+        cells_scanned = 0
+        time_range_keys = VisitsRepository.time_range_keys
+        user_prefix = VisitsRepository.user_prefix
+        decode_grade = VisitsRepository.decode_grade
+        scan = context.scan_uncounted
+        token = context.cancellation
+        check_every = token.check_every if token is not None else 0
+
+        stage = context.trace("region.aggregate", topk=request.top_k)
+        for friend_id in request.friend_ids:
+            if not request.routed:
+                prefix = user_prefix(friend_id)
+                if not context.contains_row(prefix + b"\x00"):
+                    continue
+            partial_items = None
+            if cache is not None:
+                cached = cache.lookup(
+                    context.region_id, friend_id, window, context.data_seqid
+                )
+                if cached is not None:
+                    cache_hits += 1
+                    partial_items = cached.partial
+                    for poi_id, poi_attrs in cached.attrs.items():
+                        if poi_id not in attrs:
+                            attrs[poi_id] = poi_attrs
+                else:
+                    cache_misses += 1
+            if partial_items is None:
+                friend_cells = 0
+                partial: Dict[int, list] = {}
+                start, stop = time_range_keys(
+                    friend_id, request.since, request.until
+                )
+                for cell in scan(FAMILY, start, stop):
+                    friend_cells += 1
+                    if token is not None and not (
+                        (cells_scanned + friend_cells) % check_every
+                    ):
+                        try:
+                            token.checkpoint(cells_scanned + friend_cells)
+                        except Exception:
+                            context.add_scanned(cells_scanned + friend_cells)
+                            raise
+                    poi_id = int.from_bytes(cell.row[21:29], "big")
+                    entry = partial.get(poi_id)
+                    if entry is not None:
+                        entry[0] += decode_grade(cell.value)
+                        entry[1] += 1
+                        continue
+                    if poi_id not in attrs and poi_id not in raw:
+                        raw[poi_id] = cell.value
+                    partial[poi_id] = [decode_grade(cell.value), 1]
+                cells_scanned += friend_cells
+                partial_items = tuple(
+                    (poi_id, entry[0], entry[1])
+                    for poi_id, entry in partial.items()
+                )
+            # Unfiltered fold — filtering moves to emission time, where
+            # attributes are decoded lazily.  Per-POI addition order is
+            # friend order either way, so sums are bit-identical.
+            for poi_id, grade_sum, count in partial_items:
+                agg = aggregates.get(poi_id)
+                if agg is None:
+                    aggregates[poi_id] = [grade_sum, count]
+                else:
+                    agg[0] += grade_sum
+                    agg[1] += count
+
+        stage.tag("cells_scanned", cells_scanned)
+        stage.tag("pois", len(aggregates))
+        stage.finish()
+        context.add_scanned(cells_scanned)
+        if cache is not None:
+            context.trace(
+                "cache.lookup",
+                friends=len(request.friend_ids),
+                hits=cache_hits,
+                misses=cache_misses,
+            ).finish()
+            context.count("cache_hits", cache_hits)
+            context.count("cache_misses", cache_misses)
+
+        hotness = request.hotness
+        with context.trace("region.sort") as sort_stage:
+            agg_tuples = {
+                poi_id: (entry[0], entry[1])
+                for poi_id, entry in aggregates.items()
+            }
+            if hotness:
+                items = sorted(
+                    (
+                        (poi_id, gs, cnt)
+                        for poi_id, (gs, cnt) in agg_tuples.items()
+                    ),
+                    key=lambda item: (-item[2], item[0]),
+                )
+            else:
+                items = sorted(
+                    (
+                        (poi_id, gs, cnt)
+                        for poi_id, (gs, cnt) in agg_tuples.items()
+                    ),
+                    key=lambda item: (-(item[1] / item[2]), item[0]),
+                )
+            sort_stage.tag("partials", len(items))
+        return TopKPartialStream(
+            region_id=context.region_id,
+            items=items,
+            aggregates=agg_tuples,
+            raw=raw,
+            attrs=attrs,
+            top_k=request.top_k,
+            hotness=hotness,
+            batch=request.topk_batch,
+            bbox=(
+                BoundingBox.from_tuple(request.bbox)
+                if request.bbox is not None
+                else None
+            ),
+            wanted=set(request.keywords),
+            span=context.span,
+            cells_scanned=cells_scanned,
+            deadline_token=token,
+        )
+
     # merge() default (list concatenation) is right: the web-server tier
     # does the cross-region aggregation in QueryAnsweringModule.
 
+    def stream_merge(self, streams, deadline_token=None):
+        """Threshold-algorithm merge of per-region streams; returns the
+        ``(merged_six_tuples, stats)`` pair the fan-out engine folds into
+        the call result.  Every candidate POI appears exactly once with
+        its *global* aggregate, so the web tier's ``_merge_partials``
+        fold is a plain insert pass."""
+        first = streams[0]
+        merger = TopKMerger(
+            k=first.top_k,
+            hotness=first.hotness,
+            deadline_token=deadline_token,
+        )
+        return merger.merge(streams)
+
     def validate_partial(self, partial) -> bool:
         """Region partials are lists of 6-tuples
-        ``(poi_id, grade_sum, count, name, lat, lon)``; anything else —
-        including the injector's corruption marker — is rejected and the
-        invocation goes through retry/hedge like a raised error."""
+        ``(poi_id, grade_sum, count, name, lat, lon)`` — or, in
+        streaming mode, an unstarted :class:`TopKPartialStream`; anything
+        else — including the injector's corruption marker — is rejected
+        and the invocation goes through retry/hedge like a raised
+        error."""
         if not super().validate_partial(partial):
             return False
+        if isinstance(partial, TopKPartialStream):
+            return isinstance(partial.items, list) and all(
+                isinstance(item, tuple) and len(item) == 3
+                for item in partial.items
+            )
         return isinstance(partial, list) and all(
             isinstance(item, tuple) and len(item) == 6 for item in partial
         )
@@ -376,6 +572,7 @@ class QueryAnsweringModule:
         coalesce: bool = False,
         event_log: Optional[object] = None,
         admission: Optional[object] = None,
+        topk_config: Optional[object] = None,
     ) -> None:
         self.pois = poi_repository
         self.visits = visits_repository
@@ -400,6 +597,12 @@ class QueryAnsweringModule:
         #: shrunk per-region partials, capped k); None — the default —
         #: keeps every query exactly as shaped by its caller.
         self.admission = admission
+        #: Optional :class:`~repro.config.TopKConfig`.  When enabled,
+        #: personalized queries run the threshold-algorithm streaming
+        #: path (:mod:`repro.core.modules.topk`); otherwise — the
+        #: default — the exhaustive path runs byte-identically to a
+        #: build without the module.
+        self.topk = topk_config
         self._coprocessor = VisitScanCoprocessor()
 
     # -------------------------------------------------------- public API
@@ -574,6 +777,8 @@ class QueryAnsweringModule:
                 "cache_misses": result.cache_misses,
                 "retries": result.retries,
                 "hedges": result.hedges,
+                "cells_avoided": result.cells_avoided,
+                "regions_pruned_early": result.regions_pruned_early,
             }
         )
 
@@ -586,6 +791,19 @@ class QueryAnsweringModule:
             query.friend_ids, query.since, query.until
         )
         bbox = query.bbox.as_tuple() if query.bbox else None
+        # Threshold-algorithm streaming engages only on the exact path:
+        # a brownout's truncated partials have no sound bound, so a
+        # positive per_region_limit falls back to exhaustive shipping.
+        topk = self.topk
+        top_k = 0
+        topk_batch = 16
+        if (
+            topk is not None
+            and getattr(topk, "enabled", False)
+            and per_region_limit == 0
+        ):
+            top_k = query.limit
+            topk_batch = getattr(topk, "batch_size", 16)
         return {
             region: _VisitScanRequest(
                 friend_ids=tuple(friends),
@@ -595,6 +813,9 @@ class QueryAnsweringModule:
                 until=query.until,
                 per_region_limit=per_region_limit,
                 routed=True,
+                top_k=top_k,
+                hotness=query.sort_by == SORT_HOTNESS,
+                topk_batch=topk_batch,
             )
             for region, friends in routed.items()
         }
@@ -648,6 +869,16 @@ class QueryAnsweringModule:
             "coverage": call.coverage,
             "retries": call.retries,
             "hedges": call.hedges,
+            "topk": {
+                "enabled": call.counters.get("topk.rounds", 0) > 0,
+                "rounds": call.counters.get("topk.rounds", 0),
+                "probes": call.counters.get("topk.probes", 0),
+                "candidates": call.counters.get("topk.candidates", 0),
+                "cells_avoided": call.counters.get("topk.cells_avoided", 0),
+                "pruned_regions": call.counters.get(
+                    "topk.pruned_regions", 0
+                ),
+            },
         }
 
     # ---------------------------------------------------------- internals
@@ -712,6 +943,10 @@ class QueryAnsweringModule:
             coverage=call.coverage,
             cache_hits=call.counters.get("cache_hits", 0),
             cache_misses=call.counters.get("cache_misses", 0),
+            cells_avoided=call.counters.get("topk.cells_avoided", 0),
+            regions_pruned_early=call.counters.get(
+                "topk.pruned_regions", 0
+            ),
         )
 
     def _search_sql(self, query: SearchQuery) -> SearchResult:

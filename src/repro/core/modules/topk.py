@@ -1,0 +1,451 @@
+"""Threshold-algorithm top-k early termination for the query fan-out.
+
+The exhaustive personalized path (ROADMAP item 3's complaint) has every
+region decode and ship its *complete* per-POI aggregate list, and the
+web tier ranks only at the end — a k=10 query over 6000 friends pays a
+full JSON attribute parse for every distinct POI in every region.  This
+module implements threshold-algorithm (TA) pruning in the style of
+"Efficient Top K Temporal Spatial Keyword Search": regions emit
+score-sorted partial batches with a monotone upper bound on anything
+they have not emitted yet, and the merger maintains the running k-th
+score threshold, short-circuiting region emission the moment its bound
+proves nothing else from that region can enter the top k.
+
+Two invariants make the pruned answer *byte-identical* to the
+exhaustive one (the differential oracle suite in
+``tests/test_topk_oracle.py`` asserts this over hundreds of seeded
+workloads, and ``tests/test_topk_properties.py`` proves the bound math
+directly):
+
+1. **Scans always complete.**  The per-(region, POI) ``(grade_sum,
+   count)`` aggregates are exact before any emission starts: the grade
+   of every cell comes from the positional ``decode_grade`` slice, so
+   phase A needs *zero* full payload parses.  What early termination
+   avoids is the expensive half — per-POI attribute decoding, partial
+   shipping, and web-tier merging — never the aggregation itself, so no
+   top-k member can ever lose a contribution.
+2. **Candidates resolve exactly on discovery.**  The moment any region
+   emits a POI, the merger random-access *probes* every other region's
+   completed aggregate map (a dict lookup, no decode) and folds the
+   contributions in ascending region order — the same float-addition
+   order as the exhaustive web-tier merge.  A candidate's global score
+   is therefore final at entry; later emission can only *discover new*
+   candidates, which is exactly what the frontier bounds cap.
+
+Attribute decoding — the expensive full JSON parse per POI — is
+deferred all the way to the end: emission ships bare ``(poi_id,
+grade_sum, count)`` triples, and once the merge terminates the merger
+ranks its candidates with the web tier's documented key and performs
+TA's final random-access fetch for *exactly the k winners* (filtered
+queries additionally decode per emitted item to evaluate the
+spatial/textual predicate, and those parses are memoized).  An
+unfiltered k=10 query therefore decodes ~10 payloads regardless of how
+many thousand distinct POIs the friend set touched.
+
+Bound math (proved in the property suite):
+
+- ``hotness`` (score = global visit count): a region sorted by local
+  count has frontier ``f_r`` = next unemitted count, so an undiscovered
+  POI's global count is at most the sum of the frontiers of the regions
+  that have not finished.  Regions are cancelled greedily while the
+  running sum of cancelled frontiers stays strictly below the k-th
+  candidate's score.
+- ``interest`` (score = global mean grade): the global mean is a
+  weighted average of per-region local means, hence bounded by their
+  maximum.  A region sorted by local mean has frontier ``f_r`` = next
+  unemitted local mean, so an undiscovered POI's global mean is at most
+  the max frontier; any region whose frontier falls strictly below the
+  threshold is individually prunable.
+
+Strict inequality everywhere means a POI tying the k-th score is always
+discovered, so ties are resolved by the ranker's documented stable key
+``(-score, -visit_count, poi_id)`` identically in both paths.
+
+Cancellation rides the existing :mod:`repro.hbase.cancellation`
+plumbing: each stream carries its own :class:`CancellationToken` that
+the merger trips with reason ``topk_proof``; the per-query deadline
+token (when armed) is checkpointed during emission too, so a deadline
+abort (degraded answer, region listed missing) is distinguishable in
+traces from a proof abort (complete by proof, coverage untouched).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...errors import QueryCancelled
+from ...hbase.cancellation import (
+    CancellationToken,
+    REASON_DEADLINE,
+    REASON_TOPK_PROOF,
+)
+from ...hbase.coprocessor import StreamingPartial
+from ..serialization import decode_json
+
+
+class TopKPartialStream(StreamingPartial):
+    """One region's score-sorted partial, emitted in bounded batches.
+
+    Built by :class:`~repro.core.modules.query_answering.
+    VisitScanCoprocessor` after its (always complete) aggregation scan.
+    ``items`` is the region's per-POI ``(poi_id, grade_sum, count)``
+    list sorted descending by the query's *local* sort key (count for
+    hotness, local mean for interest) with ``poi_id`` as the stable
+    tie-break; ``aggregates`` is the same data as a dict for O(1)
+    random-access probes; ``raw`` maps each POI to one representative
+    raw payload (attribute decoding is deferred to the merger's final
+    fetch of the k winners, which is the entire saving); ``attrs`` is
+    pre-seeded from scan-cache hits — a warm cache means even the
+    winners cost no parse at all.
+    """
+
+    __slots__ = (
+        "region_id",
+        "top_k",
+        "hotness",
+        "batch",
+        "items",
+        "aggregates",
+        "raw",
+        "attrs",
+        "bbox",
+        "wanted",
+        "span",
+        "cells_scanned",
+        "prune_token",
+        "deadline_token",
+        "cursor",
+        "emitted",
+        "skipped",
+        "probe_hits",
+        "cells_decoded",
+        "finished",
+        "pruned",
+        "aborted",
+        "_verdicts",
+    )
+
+    def __init__(
+        self,
+        region_id: int,
+        items: List[Tuple[int, float, int]],
+        aggregates: Dict[int, tuple],
+        raw: Dict[int, bytes],
+        attrs: Dict[int, tuple],
+        top_k: int,
+        hotness: bool,
+        batch: int,
+        bbox: Optional[Any] = None,
+        wanted: Optional[set] = None,
+        span: Optional[Any] = None,
+        cells_scanned: int = 0,
+        deadline_token: Optional[CancellationToken] = None,
+    ) -> None:
+        self.region_id = region_id
+        self.top_k = top_k
+        self.hotness = hotness
+        self.batch = max(1, batch)
+        self.items = items
+        self.aggregates = aggregates
+        self.raw = raw
+        self.attrs = attrs
+        self.bbox = bbox
+        self.wanted = wanted or set()
+        self.span = span
+        self.cells_scanned = cells_scanned
+        #: The merger's proof-abort switch: tripping it with reason
+        #: ``topk_proof`` stops emission at the next checkpoint.  Using
+        #: a real token (not a bare flag) keeps the short-circuit on the
+        #: same cooperative-cancellation plumbing deadline aborts use.
+        self.prune_token = CancellationToken()
+        self.deadline_token = deadline_token
+        self.cursor = 0
+        self.emitted = 0
+        #: Emission-order items examined but rejected by the query's
+        #: spatial/textual filter (their decode is still charged).
+        self.skipped = 0
+        self.probe_hits = 0
+        self.cells_decoded = 0
+        self.finished = not items
+        self.pruned = False
+        self.aborted = False
+        self._verdicts: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------ bounds
+
+    def frontier(self) -> Optional[float]:
+        """Local sort key of the next unemitted item — the monotone
+        non-increasing upper bound on anything this region has not
+        shipped yet.  None once the region is exhausted."""
+        if self.cursor >= len(self.items):
+            return None
+        poi_id, grade_sum, count = self.items[self.cursor]
+        return float(count) if self.hotness else grade_sum / count
+
+    @property
+    def remaining(self) -> int:
+        return len(self.items) - self.cursor
+
+    @property
+    def shipped(self) -> int:
+        """Items that actually crossed the (simulated) wire: emitted
+        sorted-access entries plus random-access probe answers.  Drives
+        the web tier's per-item merge cost in the timeline."""
+        return self.emitted + self.probe_hits
+
+    @property
+    def cells_avoided(self) -> int:
+        """Per-POI aggregates never examined — each one an attribute
+        decode plus a shipped-and-merged partial the exhaustive path
+        would have paid for."""
+        return self.remaining
+
+    # ---------------------------------------------------------- emission
+
+    def _attrs_for(self, poi_id: int) -> tuple:
+        attrs = self.attrs.get(poi_id)
+        if attrs is None:
+            payload = decode_json(self.raw[poi_id])
+            self.cells_decoded += 1
+            attrs = (
+                payload.get("name", ""),
+                payload.get("lat", 0.0),
+                payload.get("lon", 0.0),
+                tuple(payload.get("keywords", ())),
+            )
+            self.attrs[poi_id] = attrs
+        return attrs
+
+    def _passes_filter(self, poi_id: int) -> bool:
+        verdict = self._verdicts.get(poi_id)
+        if verdict is None:
+            name, lat, lon, poi_keywords = self._attrs_for(poi_id)
+            verdict = not (
+                (
+                    self.bbox is not None
+                    and not self.bbox.contains_coords(lat, lon)
+                )
+                or (
+                    self.wanted
+                    and not (
+                        self.wanted
+                        & {str(k).lower() for k in poi_keywords}
+                    )
+                )
+            )
+            self._verdicts[poi_id] = verdict
+        return verdict
+
+    def next_batch(self) -> List[Tuple[int, float, int]]:
+        """Emit up to ``batch`` filter-passing ``(poi_id, grade_sum,
+        count)`` triples in sort-key order.  No attribute decode happens
+        here for unfiltered queries — the merger fetches attributes for
+        the final winners only; a spatial/textual filter forces a
+        (memoized) decode per examined item to evaluate the predicate.
+        Raises :class:`QueryCancelled` when the query's deadline token
+        trips mid-emission; returns ``[]`` once exhausted or
+        proof-pruned."""
+        out: List[Tuple[int, float, int]] = []
+        items = self.items
+        filtered = self.bbox is not None or bool(self.wanted)
+        while len(out) < self.batch and self.cursor < len(items):
+            if self.prune_token.cancelled:
+                # The merger proved the rest cannot enter the top k.
+                return out
+            if self.deadline_token is not None:
+                # Emission work is charged at record cost on top of the
+                # scan's spend, so a blown deadline stops decoding here.
+                self.deadline_token.checkpoint(
+                    self.cells_scanned + self.cursor
+                )
+            poi_id, grade_sum, count = items[self.cursor]
+            self.cursor += 1
+            if filtered and not self._passes_filter(poi_id):
+                self.skipped += 1
+                continue
+            out.append((poi_id, grade_sum, count))
+        self.emitted += len(out)
+        if self.cursor >= len(items):
+            self.finished = True
+        return out
+
+    def probe(self, poi_id: int) -> Optional[Tuple[float, int]]:
+        """Random access: this region's exact ``(grade_sum, count)`` for
+        one POI, independent of the emission cursor (phase A completed,
+        so the aggregate map is total).  No attribute decode."""
+        entry = self.aggregates.get(poi_id)
+        if entry is None:
+            return None
+        self.probe_hits += 1
+        return entry
+
+    # -------------------------------------------------------- short-circuit
+
+    def short_circuit(self, reason: str = REASON_TOPK_PROOF) -> None:
+        """Merger-driven early termination of this region's emission.
+
+        ``topk_proof`` means the region is *complete by proof*: every
+        unemitted item is strictly below the global threshold, so the
+        answer is exact without it — coverage is untouched and the
+        region must never appear in ``missing_regions``.  A deadline
+        reason instead marks the stream aborted (degraded semantics).
+        """
+        self.prune_token.cancel(reason)
+        if reason == REASON_TOPK_PROOF:
+            self.pruned = True
+        else:
+            self.aborted = True
+        if self.span is not None:
+            if reason == REASON_TOPK_PROOF:
+                self.span.tag("pruned_early", True)
+            else:
+                self.span.tag("cancel_reason", reason)
+            self.span.tag("topk_emitted", self.emitted)
+            self.span.tag("topk_avoided", self.cells_avoided)
+
+
+class TopKMerger:
+    """Web-tier threshold-algorithm merge over region partial streams.
+
+    ``merge`` drives sorted access (``next_batch``) in rounds and
+    random-access probes on candidate discovery, maintains the running
+    k-th-score threshold, and short-circuits streams whose frontier
+    provably cannot matter.  Once emission terminates it ranks the
+    candidate set with the web tier's documented key ``(-score,
+    -visit_count, poi_id)``, keeps exactly the top k, and only then
+    decodes attributes — TA's final random-access fetch — from each
+    winner's discovering region.  Returns those k exact 6-tuples plus a
+    stats dict for counters, spans and the EXPLAIN surface.  (Trimming
+    here is sound because the downstream ranker orders with the same
+    total key: the k survivors are precisely the rows it would keep.)
+    """
+
+    def __init__(
+        self,
+        k: int,
+        hotness: bool,
+        deadline_token: Optional[CancellationToken] = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.hotness = hotness
+        self.deadline_token = deadline_token
+
+    # ------------------------------------------------------------- merge
+
+    def merge(
+        self, streams: List[TopKPartialStream]
+    ) -> Tuple[List[tuple], Dict[str, Any]]:
+        streams = sorted(streams, key=lambda s: s.region_id)
+        #: poi_id -> [grade_sum, count]; exact at entry.
+        candidates: Dict[int, list] = {}
+        #: Exact global scores, maintained alongside ``candidates``.
+        scores: Dict[int, float] = {}
+        #: poi_id -> the stream that first emitted it; the final
+        #: attribute fetch for a winner goes to this region (attribute
+        #: rows are per-POI constants, so any region's copy is
+        #: byte-identical to the one the exhaustive merge would keep).
+        discoverers: Dict[int, TopKPartialStream] = {}
+        rounds = 0
+        probes = 0
+        #: Sum of cancelled-stream frontiers (hotness); an undiscovered
+        #: POI living only in cancelled streams is bounded by it.
+        cancelled_bound = 0.0
+        threshold: Optional[float] = None
+        deadline_hit = False
+
+        def resolve(poi_id: int) -> None:
+            """Fold the POI's exact global aggregate in ascending region
+            order — the same float-addition order as the exhaustive
+            web-tier merge, so scores are byte-identical."""
+            nonlocal probes
+            entry = None
+            for s in streams:
+                contrib = s.probe(poi_id)
+                probes += 1
+                if contrib is None:
+                    continue
+                if entry is None:
+                    entry = [contrib[0], contrib[1]]
+                else:
+                    entry[0] += contrib[0]
+                    entry[1] += contrib[1]
+            if entry is None:  # pragma: no cover - emitter always has it
+                return
+            candidates[poi_id] = entry
+            scores[poi_id] = (
+                float(entry[1]) if self.hotness else entry[0] / entry[1]
+            )
+
+        def kth_score() -> Optional[float]:
+            if len(scores) < self.k:
+                return None
+            ranked = sorted(scores.values(), reverse=True)
+            return ranked[self.k - 1]
+
+        active = [s for s in streams if not s.finished]
+        while active:
+            rounds += 1
+            for stream in active:
+                try:
+                    batch = stream.next_batch()
+                except QueryCancelled:
+                    deadline_hit = True
+                    break
+                for poi_id, _gs, _cnt in batch:
+                    if poi_id not in candidates:
+                        discoverers[poi_id] = stream
+                        resolve(poi_id)
+            if deadline_hit:
+                break
+            threshold = kth_score()
+            if threshold is not None:
+                # Short-circuit pass: strict inequality guarantees a
+                # POI tying the k-th score is still discovered, so the
+                # ranker's tie-break sees identical candidates.
+                for stream in active:
+                    if stream.finished or stream.pruned:
+                        continue
+                    frontier = stream.frontier()
+                    if frontier is None:
+                        continue
+                    if self.hotness:
+                        if cancelled_bound + frontier < threshold:
+                            cancelled_bound += frontier
+                            stream.short_circuit(REASON_TOPK_PROOF)
+                    elif frontier < threshold:
+                        stream.short_circuit(REASON_TOPK_PROOF)
+            active = [
+                s for s in active
+                if not (s.finished or s.pruned)
+            ]
+
+        if deadline_hit:
+            for stream in streams:
+                if not (stream.finished or stream.pruned):
+                    stream.short_circuit(REASON_DEADLINE)
+
+        # Rank with the web tier's exact key, trim to k, and only then
+        # pay the attribute decode — for precisely these winners.
+        ranked = sorted(
+            candidates.items(),
+            key=lambda kv: (-scores[kv[0]], -kv[1][1], kv[0]),
+        )
+        merged = []
+        for poi_id, entry in ranked[: self.k]:
+            name, lat, lon, _kw = discoverers[poi_id]._attrs_for(poi_id)
+            merged.append((poi_id, entry[0], entry[1], name, lat, lon))
+        stats = {
+            "rounds": rounds,
+            "probes": probes,
+            "candidates": len(candidates),
+            "cells_avoided": sum(s.cells_avoided for s in streams),
+            "cells_decoded": sum(s.cells_decoded for s in streams),
+            "pruned_regions": sum(1 for s in streams if s.pruned),
+            "aborted_regions": sorted(
+                s.region_id for s in streams if s.aborted
+            ),
+            "threshold": threshold,
+        }
+        return merged, stats

@@ -414,6 +414,15 @@ class InstrumentedQueryAnswering:
             self.metrics.increment(
                 "cache.misses", result.cache_misses, labels={"cache": "scan"}
             )
+        # Threshold-algorithm early termination (0 with top-k off):
+        # aggregates proven irrelevant before any decode/ship/merge, and
+        # regions whose emission the merger short-circuited.
+        if result.cells_avoided:
+            self.metrics.increment("cells.avoided", result.cells_avoided)
+        if result.regions_pruned_early:
+            self.metrics.increment(
+                "regions.pruned_early", result.regions_pruned_early
+            )
         if result.degraded:
             # Partial answers are still answers, but an operator must be
             # able to alert on how often coverage dropped below 1.0.

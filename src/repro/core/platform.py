@@ -202,6 +202,7 @@ class MoDisSENSE:
                     else None
                 ),
                 admission=self.admission,
+                topk_config=self.config.topk,
             ),
             metrics=self.metrics,
         )

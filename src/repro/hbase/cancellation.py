@@ -30,6 +30,18 @@ from ..errors import QueryCancelled
 #: integer modulo.
 CHECK_EVERY_CELLS = 64
 
+#: Cancel reason stamped when a query deadline (simulated budget) blew.
+#: A deadline abort degrades the answer: the region lands in
+#: ``missing_regions`` and lowers coverage.
+REASON_DEADLINE = "deadline"
+
+#: Cancel reason stamped by the top-k merger when it *proves* a region's
+#: remaining emission cannot enter the top k (threshold algorithm).  A
+#: proof abort is complete-by-proof: the answer stays exact, coverage is
+#: untouched, and the region must never appear in ``missing_regions``.
+#: Traces distinguish the two via this reason string.
+REASON_TOPK_PROOF = "topk_proof"
+
 
 class CancellationToken:
     """Shared per-query cancellation state.

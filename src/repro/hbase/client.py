@@ -35,7 +35,7 @@ from ..errors import (
 )
 from .cache import RegionScanCache
 from .cancellation import CancellationToken
-from .coprocessor import Coprocessor, CoprocessorContext
+from .coprocessor import Coprocessor, CoprocessorContext, StreamingPartial
 from .region import Region
 from .table import HTable, TableDescriptor
 
@@ -597,12 +597,16 @@ class HBaseCluster:
 
             outcomes = self._executor.map_ordered(run_one, region_requests)
             partials: List[Any] = []
-            tasks: List[Task] = []
             records: Dict[int, int] = {}
             result_sizes: Dict[int, int] = {}
             counters: Dict[str, int] = {}
             spans: Dict[int, Any] = {}
             missing: List[int] = []
+            #: Deferred Task construction in outcome order: streaming
+            #: partials only learn their shipped-item count after the
+            #: incremental merge below, and the merge cost the timeline
+            #: charges must reflect what actually crossed the wire.
+            task_inputs: List[tuple] = []
             retries = 0
             hedges = 0
             breaker_skips = 0
@@ -630,15 +634,66 @@ class HBaseCluster:
                         cancelled += 1
                     if out.reason == "breaker_open":
                         breaker_skips += 1
-                tasks.append(
-                    Task(
-                        region_id=rid,
-                        records_scanned=out.records,
-                        results_returned=result_sizes[rid],
-                        query_id=qi,
-                        extra_cost_s=out.extra_cost_s,
-                    )
+                task_inputs.append((rid, out.records, out.extra_cost_s))
+            if partials and all(
+                isinstance(p, StreamingPartial) for p in partials
+            ):
+                # Threshold-algorithm path: the endpoint returned
+                # score-sorted streams, merged *here* — before the
+                # timeline is simulated — so ``results_returned`` (and
+                # with it the web tier's per-item merge cost) counts
+                # only the items each region actually emitted or
+                # answered probes for, not its whole partial.
+                merged_stream, topk_stats = coprocessor.stream_merge(
+                    partials, deadline_token=token
                 )
+                for stream in partials:
+                    result_sizes[stream.region_id] = stream.shipped
+                counters["cells_decoded"] = (
+                    counters.get("cells_decoded", 0)
+                    + topk_stats["cells_decoded"]
+                )
+                for key in (
+                    "rounds",
+                    "probes",
+                    "candidates",
+                    "cells_avoided",
+                    "pruned_regions",
+                ):
+                    counters["topk." + key] = (
+                        counters.get("topk." + key, 0) + topk_stats[key]
+                    )
+                self._count("topk.queries")
+                self._count("topk.rounds", topk_stats["rounds"])
+                self._count(
+                    "topk.cells_avoided", topk_stats["cells_avoided"]
+                )
+                if topk_stats["pruned_regions"]:
+                    self._count(
+                        "topk.regions_pruned_early",
+                        topk_stats["pruned_regions"],
+                    )
+                aborted = topk_stats["aborted_regions"]
+                if aborted:
+                    # Deadline hit mid-merge: emission from these
+                    # regions never finished, so undiscovered candidates
+                    # may be missing — honest degraded semantics, unlike
+                    # proof-pruned regions which stay fully covered.
+                    missing.extend(
+                        rid for rid in aborted if rid not in missing
+                    )
+                    cancelled += len(aborted)
+                partials = [merged_stream]
+            tasks = [
+                Task(
+                    region_id=rid,
+                    records_scanned=out_records,
+                    results_returned=result_sizes[rid],
+                    query_id=qi,
+                    extra_cost_s=extra_cost_s,
+                )
+                for rid, out_records, extra_cost_s in task_inputs
+            ]
             if retries:
                 self._count("fanout.retries", retries)
             if hedges:

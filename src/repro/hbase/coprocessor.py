@@ -61,6 +61,27 @@ class CorruptPartial:
         return "CorruptPartial(...)"
 
 
+class StreamingPartial:
+    """Marker base for partials that are *streams*, not finished lists.
+
+    An endpoint whose region-side work is complete but whose emission is
+    incremental (the top-k path: score-sorted batches plus an upper
+    bound on the unemitted rest) returns a ``StreamingPartial`` subclass
+    from :meth:`Coprocessor.run`.  The fan-out engine detects the marker
+    and, instead of the plain list merge, drives the endpoint's
+    :meth:`Coprocessor.stream_merge` *before* building per-region cost
+    tasks, so only the items a stream actually shipped are charged to
+    the web tier's merge cost.
+
+    Subclasses must expose: ``region_id``, ``shipped`` (items that
+    crossed the wire), ``cells_decoded``, ``cells_avoided``, ``pruned``
+    (terminated complete-by-proof), ``aborted`` (terminated by
+    deadline), and ``finished``.
+    """
+
+    __slots__ = ()
+
+
 class CoprocessorContext:
     """Region-local view handed to a coprocessor endpoint.
 
@@ -213,6 +234,21 @@ class Coprocessor:
             if partial:
                 merged.extend(partial)
         return merged
+
+    def stream_merge(
+        self, streams: List[Any], deadline_token: Optional[Any] = None
+    ) -> Any:
+        """Merge :class:`StreamingPartial` results incrementally.
+
+        Called by the fan-out engine (instead of :meth:`merge`) when
+        region invocations returned streaming partials.  Endpoints that
+        emit streams must override this; the base class has no streaming
+        protocol.
+        """
+        raise CoprocessorError(
+            "%s returned StreamingPartial results but does not "
+            "implement stream_merge()" % type(self).__name__
+        )
 
     def validate_partial(self, partial: Any) -> bool:
         """Sanity-check one region's partial before accepting it.
